@@ -1,0 +1,122 @@
+// Command clustersim runs the paper's motivating multi-job scenario
+// (Figs. 1 and 2): eight HACC-IO-like jobs share a cluster; only job 4
+// performs asynchronous I/O, and the contention monitor optionally limits
+// it to its measured required bandwidth.
+//
+//	clustersim              # run both policies and compare
+//	clustersim -policy none # one policy only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iobehind/internal/cluster"
+	"iobehind/internal/des"
+	"iobehind/internal/report"
+)
+
+func main() {
+	policy := flag.String("policy", "both", "limit policy: none, contention, both")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	switch *policy {
+	case "none":
+		res := run(cluster.NoLimit, *seed)
+		printJobs("without limit", res)
+	case "contention":
+		res := run(cluster.LimitDuringContention, *seed)
+		printJobs("with contention-only limit", res)
+	case "both":
+		base := run(cluster.NoLimit, *seed)
+		lim := run(cluster.LimitDuringContention, *seed)
+		compare(base, lim)
+	default:
+		fmt.Fprintf(os.Stderr, "clustersim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+}
+
+func run(policy cluster.LimitPolicy, seed int64) *cluster.Result {
+	cfg := cluster.DefaultScenario(policy)
+	cfg.Seed = seed
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+	return res
+}
+
+func printJobs(title string, res *cluster.Result) {
+	t := report.NewTable(title, "job", "nodes", "async", "start", "end", "runtime")
+	for _, j := range res.Jobs {
+		t.AddRow(
+			fmt.Sprintf("%d", j.Job),
+			fmt.Sprintf("%d", j.Nodes),
+			fmt.Sprintf("%v", j.Async),
+			fmt.Sprintf("%.1f s", j.Started.Seconds()),
+			fmt.Sprintf("%.1f s", j.Ended.Seconds()),
+			report.Seconds(j.Runtime()),
+		)
+	}
+	fmt.Print(t.Render())
+	fmt.Println("bandwidth over time (write channel):")
+	for i, s := range res.Bandwidth {
+		fmt.Printf("  job %d  peak %-12s |%s|\n", i, report.Rate(s.Max()),
+			report.Sparkline(s, 0, res.Makespan, 60))
+	}
+}
+
+func compare(base, lim *cluster.Result) {
+	t := report.NewTable("Fig. 1 — job runtimes", "job", "nodes", "async",
+		"no limit", "limited", "delta")
+	for i := range base.Jobs {
+		b, l := base.Jobs[i], lim.Jobs[i]
+		delta := 100 * (l.Runtime().Seconds() - b.Runtime().Seconds()) / b.Runtime().Seconds()
+		t.AddRow(
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", b.Nodes),
+			fmt.Sprintf("%v", b.Async),
+			report.Seconds(b.Runtime()),
+			report.Seconds(l.Runtime()),
+			fmt.Sprintf("%+.1f%%", delta),
+		)
+	}
+	fmt.Print(t.Render())
+	fmt.Printf("makespan %s -> %s; limit toggles %d\n",
+		report.Seconds(des.Duration(base.Makespan)),
+		report.Seconds(des.Duration(lim.Makespan)),
+		lim.LimitToggles)
+	horizon := base.Makespan
+	if lim.Makespan > horizon {
+		horizon = lim.Makespan
+	}
+	for _, v := range []struct {
+		name string
+		res  *cluster.Result
+	}{{"no limit", base}, {"limited", lim}} {
+		rows := make([]report.GanttRow, len(v.res.Jobs))
+		for i, j := range v.res.Jobs {
+			label := fmt.Sprintf("job %d", i)
+			if j.Async {
+				label += "*"
+			}
+			rows[i] = report.GanttRow{Label: label, Start: j.Started, End: j.Ended}
+		}
+		fmt.Print(report.Gantt("timeline ("+v.name+"; * = async)", rows, horizon, 60))
+	}
+	fmt.Println("\nFig. 2 — bandwidth distribution (write channel):")
+	for _, v := range []struct {
+		name string
+		res  *cluster.Result
+	}{{"no limit", base}, {"limited", lim}} {
+		fmt.Printf("%s:\n", v.name)
+		for i, s := range v.res.Bandwidth {
+			fmt.Printf("  job %d  peak %-12s |%s|\n", i, report.Rate(s.Max()),
+				report.Sparkline(s, 0, v.res.Makespan, 60))
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command iobench regenerates the paper's figures as text tables and
+// series. Each figure of the evaluation section maps to one experiment:
+//
+//	iobench -fig 1          # Figs. 1+2: cluster scenario
+//	iobench -fig 5          # Figs. 5+6: HACC-IO runtime & overhead sweep
+//	iobench -fig 7          # WaComM++ distribution sweep
+//	iobench -fig 8 -scale paper
+//	iobench -fig all        # everything
+//
+// -scale quick (default) shrinks the runs to seconds; -scale paper uses
+// the paper's configurations (up to 9216 ranks; the largest runs take
+// minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"iobehind/internal/experiments"
+)
+
+// renderer is any experiment result that can print itself.
+type renderer interface{ Render() string }
+
+// figures maps figure ids to their runners. Figures sharing one experiment
+// (1+2, 5+6) appear under both ids.
+var figures = map[string]func(experiments.Scale) (renderer, error){
+	"1":  func(s experiments.Scale) (renderer, error) { return experiments.Fig01(s) },
+	"3":  func(s experiments.Scale) (renderer, error) { return experiments.Fig03(s) },
+	"4":  func(s experiments.Scale) (renderer, error) { return experiments.Fig04(s) },
+	"2":  func(s experiments.Scale) (renderer, error) { return experiments.Fig01(s) },
+	"5":  func(s experiments.Scale) (renderer, error) { return experiments.Fig05(s) },
+	"6":  func(s experiments.Scale) (renderer, error) { return experiments.Fig05(s) },
+	"7":  func(s experiments.Scale) (renderer, error) { return experiments.Fig07(s) },
+	"8":  func(s experiments.Scale) (renderer, error) { return experiments.Fig08(s) },
+	"9":  func(s experiments.Scale) (renderer, error) { return experiments.Fig09(s) },
+	"10": func(s experiments.Scale) (renderer, error) { return experiments.Fig10(s) },
+	"11": func(s experiments.Scale) (renderer, error) { return experiments.Fig11(s) },
+	"13": func(s experiments.Scale) (renderer, error) { return experiments.Fig13(s) },
+	"14": func(s experiments.Scale) (renderer, error) { return experiments.Fig14(s) },
+}
+
+// order lists each distinct experiment once for -fig all.
+var order = []string{"1", "3", "4", "5", "7", "8", "9", "10", "11", "13", "14"}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 1,2,3,4,5,6,7,8,9,10,11,13,14 or 'all'")
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	outDir := flag.String("out", "", "also write each figure's output to <out>/fig<N>.txt")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "paper":
+		scale = experiments.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "iobench: unknown scale %q (want quick or paper)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var ids []string
+	if *fig == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := figures[id]; !ok {
+				fmt.Fprintf(os.Stderr, "iobench: unknown figure %q\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "iobench:", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := figures[id](scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iobench: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		header := fmt.Sprintf("### Figure %s (%s scale, %v wall time)\n\n", id, scale,
+			time.Since(start).Round(time.Millisecond))
+		body := res.Render()
+		fmt.Print(header)
+		fmt.Println(body)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, "fig"+id+".txt")
+			if err := os.WriteFile(path, []byte(header+body+"\n"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "iobench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Command ioreport renders a TMIO JSON report (written by Report.WriteJSON
+// or `haccio -json`) back into tables and series — the offline analysis
+// path, like the paper's plotting scripts consuming TMIO's result files.
+//
+//	haccio -ranks 96 -json run.json
+//	ioreport run.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iobehind/internal/des"
+	"iobehind/internal/region"
+	"iobehind/internal/report"
+	"iobehind/internal/tmio"
+)
+
+// reportJSON mirrors the WriteJSON payload.
+type reportJSON struct {
+	Ranks    int `json:"ranks"`
+	Strategy struct {
+		Strategy int     `json:"Strategy"`
+		Tol      float64 `json:"Tol"`
+	} `json:"strategy"`
+	Runtime           int64       `json:"runtime"`
+	AppTime           int64       `json:"app_time"`
+	PeriOverhead      int64       `json:"peri_overhead"`
+	PostOverhead      int64       `json:"post_overhead"`
+	RequiredBandwidth float64     `json:"required_bandwidth"`
+	FirstLimitAt      int64       `json:"first_limit_at"`
+	SyncOps           int         `json:"sync_ops"`
+	AsyncOps          int         `json:"async_ops"`
+	TotalBytes        [2]int64    `json:"total_bytes"`
+	Distribution      distJSON    `json:"distribution"`
+	B                 seriesJSON  `json:"b_series"`
+	T                 seriesJSON  `json:"t_series"`
+	BL                seriesJSON  `json:"bl_series"`
+	Phases            []phaseJSON `json:"phases"`
+}
+
+type phaseJSON struct {
+	Rank  int     `json:"rank"`
+	Index int     `json:"index"`
+	Ts    float64 `json:"ts"`
+	Te    float64 `json:"te"`
+	B     float64 `json:"b"`
+}
+
+type distJSON struct {
+	SyncWrite         float64 `json:"sync_write"`
+	SyncRead          float64 `json:"sync_read"`
+	AsyncWriteLost    float64 `json:"async_write_lost"`
+	AsyncReadLost     float64 `json:"async_read_lost"`
+	AsyncWriteExploit float64 `json:"async_write_exploit"`
+	AsyncReadExploit  float64 `json:"async_read_exploit"`
+	OverheadPeri      float64 `json:"overhead_peri"`
+	OverheadPost      float64 `json:"overhead_post"`
+	ComputeFree       float64 `json:"compute_free"`
+}
+
+type seriesJSON struct {
+	Name   string       `json:"name"`
+	Points [][2]float64 `json:"points"`
+}
+
+func main() {
+	replay := flag.Bool("replay", false,
+		"replay all limiting strategies over the recorded phases (what-if analysis)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ioreport [-replay] <report.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioreport:", err)
+		os.Exit(1)
+	}
+	var rep reportJSON
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintln(os.Stderr, "ioreport: parse:", err)
+		os.Exit(1)
+	}
+
+	secs := func(ns int64) float64 { return float64(ns) / 1e9 }
+	t := report.NewTable(fmt.Sprintf("TMIO report — %d ranks", rep.Ranks), "metric", "value")
+	t.AddRow("runtime", fmt.Sprintf("%.2f s", secs(rep.Runtime)))
+	t.AddRow("app time", fmt.Sprintf("%.2f s", secs(rep.AppTime)))
+	t.AddRow("required bandwidth B", report.Rate(rep.RequiredBandwidth))
+	t.AddRow("peri overhead", fmt.Sprintf("%.3f s", secs(rep.PeriOverhead)))
+	t.AddRow("post overhead", fmt.Sprintf("%.3f s", secs(rep.PostOverhead)))
+	t.AddRow("async / sync ops", fmt.Sprintf("%d / %d", rep.AsyncOps, rep.SyncOps))
+	t.AddRow("bytes written / read", fmt.Sprintf("%d / %d", rep.TotalBytes[0], rep.TotalBytes[1]))
+	if rep.FirstLimitAt > 0 {
+		t.AddRow("limit first applied", fmt.Sprintf("%.2f s", secs(rep.FirstLimitAt)))
+	}
+	fmt.Print(t.Render())
+
+	d := rep.Distribution
+	dt := report.NewTable("time distribution (percent of total rank time)", "category", "share")
+	dt.AddRow("sync write", report.Pct(d.SyncWrite))
+	dt.AddRow("sync read", report.Pct(d.SyncRead))
+	dt.AddRow("async write lost", report.Pct(d.AsyncWriteLost))
+	dt.AddRow("async read lost", report.Pct(d.AsyncReadLost))
+	dt.AddRow("async write exploit", report.Pct(d.AsyncWriteExploit))
+	dt.AddRow("async read exploit", report.Pct(d.AsyncReadExploit))
+	dt.AddRow("overhead (peri)", report.Pct(d.OverheadPeri))
+	dt.AddRow("overhead (post)", report.Pct(d.OverheadPost))
+	dt.AddRow("compute (I/O free)", report.Pct(d.ComputeFree))
+	fmt.Print(dt.Render())
+
+	for _, s := range []seriesJSON{rep.T, rep.B, rep.BL} {
+		if len(s.Points) == 0 {
+			continue
+		}
+		fmt.Printf("%-4s %d points, peak %s |%s|\n",
+			s.Name, len(s.Points), report.Rate(peak(s)), spark(s, 60))
+	}
+
+	if *replay {
+		replayStrategies(rep.Phases)
+	}
+}
+
+// replayStrategies runs the what-if analysis: what would each strategy
+// have done on the recorded required bandwidths?
+func replayStrategies(raw []phaseJSON) {
+	if len(raw) == 0 {
+		fmt.Println("\nno recorded phases: cannot replay (report was written by an older version?)")
+		return
+	}
+	phases := make([]region.Phase, 0, len(raw))
+	for _, ph := range raw {
+		phases = append(phases, region.Phase{
+			Rank:  ph.Rank,
+			Index: ph.Index,
+			Start: des.Time(des.DurationOf(ph.Ts)),
+			End:   des.Time(des.DurationOf(ph.Te)),
+			Value: ph.B,
+		})
+	}
+	strategies := []tmio.StrategyConfig{
+		{Strategy: tmio.Direct, Tol: 1.1},
+		{Strategy: tmio.Direct, Tol: 2},
+		{Strategy: tmio.UpOnly, Tol: 1.1},
+		{Strategy: tmio.Adaptive, Tol: 1.1},
+		{Strategy: tmio.Frequent, Tol: 1.1},
+	}
+	t := report.NewTable("strategy replay over the recorded phases (projected)",
+		"strategy", "wait share", "exploit share")
+	for _, res := range tmio.CompareStrategies(phases, strategies) {
+		t.AddRow(res.Strategy.Label(),
+			report.Pct(100*res.WaitShare()),
+			report.Pct(100*res.ExploitShare()))
+	}
+	fmt.Println()
+	fmt.Print(t.Render())
+}
+
+func peak(s seriesJSON) float64 {
+	var max float64
+	for _, p := range s.Points {
+		if p[1] > max {
+			max = p[1]
+		}
+	}
+	return max
+}
+
+// spark renders the JSON series as a sparkline by step-sampling it.
+func spark(s seriesJSON, width int) string {
+	if len(s.Points) == 0 {
+		return ""
+	}
+	max := peak(s)
+	if max <= 0 {
+		return strings.Repeat("▁", width)
+	}
+	end := s.Points[len(s.Points)-1][0]
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		at := end * float64(i) / float64(width)
+		v := 0.0
+		for _, p := range s.Points {
+			if p[0] > at {
+				break
+			}
+			v = p[1]
+		}
+		idx := int(v / max * float64(len(levels)-1))
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,3 @@
+module iobehind
+
+go 1.22

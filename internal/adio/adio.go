@@ -1,0 +1,436 @@
+// Package adio models ROMIO's ADIO layer as modified by the paper: every
+// MPI-IO read and write is redirected through a per-rank I/O agent process
+// (the "I/O thread" of Sec. V) that executes the operation synchronously
+// against the file system, notifies completion through a generalized
+// request, and enforces a user-settable bandwidth limit.
+//
+// The limiter follows the paper's algorithm verbatim:
+//
+//  1. A request is divided into sub-requests of a predefined size; a
+//     request smaller than that size is executed directly.
+//  2. For every sub-request the agent computes the required time from the
+//     limit: Δt = size / limit.
+//  3. Each sub-request runs as a blocking transfer. If it finished faster
+//     than required, the agent sleeps the remainder (Case A); if slower,
+//     the overrun is accumulated and used to shorten later sleeps (Case B).
+package adio
+
+import (
+	"fmt"
+	"math"
+
+	"iobehind/internal/des"
+	"iobehind/internal/mpi"
+	"iobehind/internal/pfs"
+)
+
+// Host is the compute process an agent serves: the agent charges it
+// interference penalties for background I/O activity.
+type Host interface {
+	// AddInterference charges seconds of compute slowdown.
+	AddInterference(seconds float64)
+}
+
+// Config parameterizes an I/O agent.
+type Config struct {
+	// SubRequestSize is the throttling granularity in bytes. Defaults to
+	// 8 MiB. Requests at or below this size are executed in one piece.
+	SubRequestSize int64
+	// MinLimit is the lowest admissible bandwidth limit in bytes/s;
+	// SetLimit clamps below it so a mismeasured required bandwidth can
+	// never stall the application outright. Defaults to 512 B/s — low
+	// enough not to interfere with the tiny per-rank request sizes of
+	// large strong-scaled runs (a 9216-rank WaComM++ writes ~10 KiB per
+	// rank per hour).
+	MinLimit float64
+	// Interference is the I/O-thread/compute interference model.
+	Interference mpi.InterferenceModel
+	// RanksPerNode scales a rank's transfer rate to the node-aggregate
+	// rate the interference model expects. Defaults to 96.
+	RanksPerNode int
+	// FlowWeight is the fair-share weight of this agent's transfers on
+	// the file system. Defaults to 1.
+	FlowWeight float64
+	// Tag identifies this agent's flows to file-system observers.
+	Tag pfs.Tag
+	// CarryDeficit keeps the Case-B overrun accumulator across requests
+	// instead of resetting it per request (ablation knob).
+	CarryDeficit bool
+
+	// HiccupProb and HiccupMean model the resource competition of unpaced
+	// background I/O threads (Tseng et al. [33]; the paper observes the
+	// effect as "less competition for resources at the beginning of the
+	// phases" when throttling). Each request executed *without pacing* —
+	// no limit, or a limit the file system couldn't outrun, so the agent
+	// never slept — triggers, with probability HiccupProb, a scheduling
+	// hiccup that charges the host an Exp(HiccupMean)-distributed compute
+	// delay. Paced agents spend their time in timed sleeps and yield the
+	// core, so they are exempt. At scale, per-iteration barriers amplify
+	// the rare per-rank hiccups into a measurable slowdown of the
+	// unthrottled run. Defaults: 0 (disabled) / 500 ms.
+	HiccupProb float64
+	HiccupMean des.Duration
+
+	// BurstBuffer, when non-nil, interposes a node-local buffer tier in
+	// front of the file system for writes (the paper's future-work
+	// setting): writes complete at buffer speed and a background drainer
+	// trickles the data to the PFS at the configured DrainRate, which
+	// becomes the agent's write-bandwidth footprint on the shared system.
+	// The bandwidth limit does not additionally pace buffered writes.
+	// Reads bypass the buffer.
+	BurstBuffer *pfs.BurstBufferConfig
+
+	// SubmitLatencyPerFlow and QueueLatencyPerFlow model I/O-server
+	// queuing under burst storms. When thousands of ranks hit the file
+	// system at once, posting a request stalls the *caller* briefly
+	// (SubmitLatencyPerFlow × concurrent flows, applied by the MPI-IO
+	// layer on the application thread) and the request waits in the
+	// server queue before its first byte moves (QueueLatencyPerFlow ×
+	// concurrent flows, applied inside the agent, hidden from the
+	// application). Throttled traffic keeps concurrency low and pays
+	// almost nothing — this is the "pollution by short accesses" cost the
+	// paper's approach avoids. Both default to 0 (disabled). Actual
+	// delays are jittered by a factor of 0.5 + Exp(1).
+	SubmitLatencyPerFlow des.Duration
+	QueueLatencyPerFlow  des.Duration
+}
+
+// StormLatency samples a queuing delay for one operation: perFlow scaled
+// by the number of concurrent flows, jittered by 0.5 + Exp(1).
+func StormLatency(e *des.Engine, perFlow des.Duration, flows int) des.Duration {
+	if perFlow <= 0 || flows <= 0 {
+		return 0
+	}
+	factor := 0.5 + e.Rand().ExpFloat64()
+	return des.DurationOf(perFlow.Seconds() * float64(flows) * factor)
+}
+
+func (c *Config) applyDefaults() {
+	if c.SubRequestSize <= 0 {
+		c.SubRequestSize = 8 << 20
+	}
+	if c.MinLimit <= 0 {
+		c.MinLimit = 512
+	}
+	if c.HiccupMean <= 0 {
+		c.HiccupMean = 500 * des.Millisecond
+	}
+	if c.RanksPerNode <= 0 {
+		c.RanksPerNode = 96
+	}
+	if c.FlowWeight <= 0 {
+		c.FlowWeight = 1
+	}
+}
+
+// Segment is a half-open interval of virtual time during which the agent
+// was actively moving bytes (throttle sleeps excluded).
+type Segment struct {
+	Start, End des.Time
+}
+
+// Duration returns the segment length.
+func (s Segment) Duration() des.Duration { return s.End.Sub(s.Start) }
+
+// RequestStats describes one executed I/O request; the tracing library
+// reads it after completion to compute throughput and overlap metrics.
+type RequestStats struct {
+	Class     pfs.Class
+	Async     bool
+	Bytes     int64
+	Submitted des.Time  // when the application issued the operation
+	Start     des.Time  // when the agent began executing it
+	End       des.Time  // when the last byte (and last sleep) finished
+	Segments  []Segment // active transfer intervals
+	Limit     float64   // the limit in force (Unlimited if none)
+	SleptFor  des.Duration
+}
+
+// ActiveTransfer returns the summed duration of the active segments.
+func (s *RequestStats) ActiveTransfer() des.Duration {
+	var d des.Duration
+	for _, seg := range s.Segments {
+		d += seg.Duration()
+	}
+	return d
+}
+
+// Request is the handle the MPI-IO layer receives for a submitted
+// operation. Completion is signalled in virtual time; Stats must only be
+// read after Done reports true.
+type Request struct {
+	done  *des.Completion
+	Stats RequestStats
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done.Done() }
+
+// CompletedAt returns the completion time (zero while pending).
+func (r *Request) CompletedAt() des.Time { return r.done.At() }
+
+// Wait parks proc until the request completes.
+func (r *Request) Wait(proc *des.Proc) { r.done.Wait(proc) }
+
+// Agent is the per-rank I/O thread.
+type Agent struct {
+	e      *des.Engine
+	fs     *pfs.PFS
+	host   Host
+	cfg    Config
+	queue  *des.Mailbox[*Request]
+	proc   *des.Proc
+	bb     *pfs.BurstBuffer
+	limit  [2]float64 // per pfs.Class; both set by SetLimit
+	closed bool
+
+	// carriedDeficit persists the Case-B accumulator across requests when
+	// CarryDeficit is set.
+	carriedDeficit float64
+
+	// Totals for introspection and tests.
+	totalBytes   [2]int64
+	totalSlept   des.Duration
+	requestsDone int
+	hiccups      int
+}
+
+// NewAgent creates and starts an I/O agent serving host on fs.
+func NewAgent(e *des.Engine, fs *pfs.PFS, host Host, cfg Config) *Agent {
+	cfg.applyDefaults()
+	a := &Agent{
+		e:     e,
+		fs:    fs,
+		host:  host,
+		cfg:   cfg,
+		queue: des.NewMailbox[*Request](e),
+		limit: [2]float64{pfs.Unlimited, pfs.Unlimited},
+	}
+	if cfg.BurstBuffer != nil {
+		a.bb = pfs.NewBurstBuffer(e, fs, *cfg.BurstBuffer, cfg.FlowWeight, cfg.Tag)
+	}
+	a.proc = e.Spawn(fmt.Sprintf("ioagent-j%dr%d", cfg.Tag.Job, cfg.Tag.Rank), a.serve)
+	return a
+}
+
+// BurstBuffer returns the agent's buffer tier, or nil.
+func (a *Agent) BurstBuffer() *pfs.BurstBuffer { return a.bb }
+
+// Limit returns the write-class bandwidth limit currently in force
+// (Unlimited if none). Reads may carry a different limit; see ClassLimit.
+func (a *Agent) Limit() float64 { return a.limit[pfs.Write] }
+
+// ClassLimit returns the limit in force for one operation class.
+func (a *Agent) ClassLimit(class pfs.Class) float64 { return a.limit[class] }
+
+// SetLimit installs a bandwidth limit in bytes/s for both classes,
+// clamped to MinLimit. Pass pfs.Unlimited to remove the limit. This is
+// the user-level control the paper exposes; TMIO calls it after every
+// wait with the strategy's next-phase value.
+func (a *Agent) SetLimit(limit float64) {
+	a.SetClassLimit(pfs.Write, limit)
+	a.SetClassLimit(pfs.Read, limit)
+}
+
+// SetClassLimit installs a limit for one class only. Applications whose
+// read and write phases have very different requirements (the modified
+// HACC-IO alternates them every half-loop) avoid limiter oscillation by
+// keeping the classes independent; TMIO's PerClassLimits option uses this.
+func (a *Agent) SetClassLimit(class pfs.Class, limit float64) {
+	if math.IsInf(limit, 1) {
+		a.limit[class] = pfs.Unlimited
+		return
+	}
+	if limit < a.cfg.MinLimit {
+		limit = a.cfg.MinLimit
+	}
+	a.limit[class] = limit
+}
+
+// Submit enqueues an operation and returns its request handle immediately.
+// The agent starts executing it as soon as it is idle (our implementation,
+// like the paper's, begins the I/O right after submission when the queue
+// is empty). Only asynchronous operations are paced by the bandwidth
+// limit: the limit exists to stretch hidden I/O across the compute phase,
+// and throttling a blocking operation would only prolong visible I/O.
+func (a *Agent) Submit(class pfs.Class, bytes int64, async bool) *Request {
+	if a.closed {
+		panic("adio: submit on closed agent")
+	}
+	if bytes < 0 {
+		panic("adio: negative request size")
+	}
+	req := &Request{done: des.NewCompletion(a.e)}
+	req.Stats.Class = class
+	req.Stats.Async = async
+	req.Stats.Bytes = bytes
+	req.Stats.Submitted = a.e.Now()
+	a.queue.Put(req)
+	return req
+}
+
+// Close shuts the agent down after it drains its queue. Further Submits
+// panic.
+func (a *Agent) Close() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	a.queue.Put(nil) // poison pill
+	if a.bb != nil {
+		a.bb.Close()
+	}
+}
+
+// TotalBytes returns the bytes executed for the class so far.
+func (a *Agent) TotalBytes(class pfs.Class) int64 { return a.totalBytes[class] }
+
+// TotalSlept returns the cumulative throttle sleep time.
+func (a *Agent) TotalSlept() des.Duration { return a.totalSlept }
+
+// RequestsDone returns the number of completed requests.
+func (a *Agent) RequestsDone() int { return a.requestsDone }
+
+// Hiccups returns how many scheduling hiccups this agent has charged.
+func (a *Agent) Hiccups() int { return a.hiccups }
+
+// QueueLen returns the number of requests waiting behind the current one.
+func (a *Agent) QueueLen() int { return a.queue.Len() }
+
+// serve is the agent main loop: pop a request, execute it throttled,
+// complete its generalized request.
+func (a *Agent) serve(p *des.Proc) {
+	for {
+		req := a.queue.Get(p)
+		if req == nil {
+			return
+		}
+		a.execute(p, req)
+		req.done.Complete()
+		a.requestsDone++
+	}
+}
+
+// execute runs one request against the file system under the current
+// limit, implementing the sub-request loop of Sec. V.
+func (a *Agent) execute(p *des.Proc, req *Request) {
+	req.Stats.Start = p.Now()
+	req.Stats.Limit = a.limit[req.Stats.Class]
+	if !req.Stats.Async {
+		req.Stats.Limit = pfs.Unlimited
+	}
+
+	// Server-side queuing under storms: the request waits before its
+	// first byte moves. Hidden from the application (it lands inside the
+	// operation window), but it lengthens the measured throughput window.
+	// The queuing time counts toward the first sub-request's actual
+	// execution time — the paper's thread compares wall time, so server
+	// stalls eat into the sleep budget rather than adding to it.
+	queued := 0.0
+	if lat := StormLatency(a.e, a.cfg.QueueLatencyPerFlow,
+		a.fs.RecentOps(req.Stats.Class)); lat > 0 {
+		p.Sleep(lat)
+		queued = lat.Seconds()
+	}
+
+	// Buffered writes land in the burst-buffer tier at absorb speed; the
+	// buffer's drainer shapes the traffic to the file system.
+	if a.bb != nil && req.Stats.Class == pfs.Write {
+		start := p.Now()
+		a.bb.Write(p, req.Stats.Bytes)
+		end := p.Now()
+		req.Stats.Segments = append(req.Stats.Segments, Segment{Start: start, End: end})
+		a.totalBytes[pfs.Write] += req.Stats.Bytes
+		req.Stats.End = end
+		return
+	}
+
+	remaining := req.Stats.Bytes
+	deficit := 0.0 // Case-B overrun in seconds
+	if a.cfg.CarryDeficit {
+		deficit = a.carriedDeficit
+	}
+	for remaining > 0 {
+		// The limit is re-read per sub-request: a limit installed while a
+		// large request is in flight paces its remaining chunks, matching
+		// the paper's thread, which consults the limit for every
+		// sub-request it executes.
+		limit := a.limit[req.Stats.Class]
+		limited := req.Stats.Async && !math.IsInf(limit, 1)
+		chunk := remaining
+		if limited && chunk > a.cfg.SubRequestSize {
+			chunk = a.cfg.SubRequestSize
+		}
+		// Step 2: required time from the limit and the sub-request size.
+		required := 0.0
+		if limited {
+			required = float64(chunk) / limit
+		}
+		// Step 3: the sub-request itself is a blocking transfer at full
+		// speed; throttling happens through the duty cycle.
+		start, end := a.fs.Transfer(p, req.Stats.Class, chunk, a.cfg.FlowWeight, pfs.Unlimited, a.cfg.Tag)
+		req.Stats.Segments = append(req.Stats.Segments, Segment{Start: start, End: end})
+		actual := end.Sub(start).Seconds() + queued
+		queued = 0
+		a.chargeInterference(end.Sub(start).Seconds(), chunk)
+		remaining -= chunk
+
+		if !limited {
+			continue
+		}
+		if actual < required {
+			// Case A: faster than the limit allows; sleep the remainder,
+			// shortened by any accumulated overrun.
+			sleep := required - actual
+			if deficit > 0 {
+				use := math.Min(deficit, sleep)
+				deficit -= use
+				sleep -= use
+			}
+			if sleep > 0 {
+				// The sleep applies to the final sub-request as well: the
+				// operation is not reported complete before its required
+				// time elapses, which is what makes the measured
+				// throughput track the limit (paper Fig. 9).
+				d := des.DurationOf(sleep)
+				p.Sleep(d)
+				req.Stats.SleptFor += d
+				a.totalSlept += d
+			}
+		} else {
+			// Case B: slower than required; bank the difference.
+			deficit += actual - required
+		}
+	}
+	if a.cfg.CarryDeficit {
+		a.carriedDeficit = deficit
+	}
+	a.totalBytes[req.Stats.Class] += req.Stats.Bytes
+	req.Stats.End = p.Now()
+
+	// An unpaced request (the agent never yielded into a timed sleep)
+	// competed for the host's cores at full tilt; occasionally that costs
+	// the host a scheduling hiccup.
+	if a.host != nil && a.cfg.HiccupProb > 0 && req.Stats.Async &&
+		req.Stats.SleptFor == 0 && req.Stats.Bytes > 0 {
+		rng := a.e.Rand()
+		if rng.Float64() < a.cfg.HiccupProb {
+			delay := rng.ExpFloat64() * a.cfg.HiccupMean.Seconds()
+			a.host.AddInterference(delay)
+			a.hiccups++
+		}
+	}
+}
+
+// chargeInterference converts one transfer's duration and rate into a
+// compute penalty for the host.
+func (a *Agent) chargeInterference(durationSeconds float64, bytes int64) {
+	if a.host == nil || durationSeconds <= 0 {
+		return
+	}
+	rate := float64(bytes) / durationSeconds
+	nodeRate := rate * float64(a.cfg.RanksPerNode)
+	if pen := a.cfg.Interference.Penalty(durationSeconds, nodeRate); pen > 0 {
+		a.host.AddInterference(pen)
+	}
+}

@@ -1,0 +1,515 @@
+// Package cluster is the ElastiSim-equivalent multi-job simulator behind
+// the paper's motivating experiment (Figs. 1 and 2): several jobs share a
+// cluster and its parallel file system; one job performs asynchronous I/O,
+// and limiting that job to its required bandwidth — during contention only
+// — returns the spared bandwidth to the synchronous jobs.
+package cluster
+
+import (
+	"fmt"
+
+	"iobehind/internal/adio"
+	"iobehind/internal/des"
+	"iobehind/internal/ftio"
+	"iobehind/internal/metrics"
+	"iobehind/internal/mpi"
+	"iobehind/internal/mpiio"
+	"iobehind/internal/pfs"
+	"iobehind/internal/sched"
+	"iobehind/internal/tmio"
+)
+
+// LimitPolicy selects whether and when the asynchronous jobs are limited.
+type LimitPolicy int
+
+const (
+	// NoLimit runs all jobs unrestricted (Fig. 1 top: fair bandwidth
+	// distribution by node count only).
+	NoLimit LimitPolicy = iota
+	// LimitDuringContention caps each asynchronous job's ranks at their
+	// measured required bandwidth (scaled by Tol) whenever another job is
+	// doing I/O at the same time, and removes the cap otherwise (Fig. 1
+	// bottom).
+	LimitDuringContention
+	// LimitPredictive caps asynchronous jobs *ahead of* the other jobs'
+	// I/O bursts: the monitor runs FTIO period detection over each
+	// synchronous job's observed bandwidth, forecasts its next burst, and
+	// pre-emptively installs the cap just before the burst arrives —
+	// the paper's proposed coupling of the required-bandwidth metric with
+	// an I/O scheduler. Falls back to reactive capping while a job's
+	// pattern is not yet detectable.
+	LimitPredictive
+	// LimitAlways keeps asynchronous jobs capped at their required
+	// bandwidth for their whole lifetime. The paper argues against this
+	// from a cluster perspective ("bandwidth limitation from such a
+	// perspective can slow down the cluster's performance since contention
+	// is more likely to happen as the affected application performs I/O
+	// for a longer duration"); the policy exists so the argument can be
+	// tested.
+	LimitAlways
+)
+
+// JobSpec describes one batch job.
+type JobSpec struct {
+	// Nodes the job occupies; also its fair-share weight on the PFS.
+	Nodes int
+	// Async marks the job as using asynchronous MPI-IO (the paper's job 4).
+	Async bool
+	// Arrival is when the job enters the queue.
+	Arrival des.Time
+	// Loops, BytesPerNode, Compute shape the HACC-IO-like phase pattern:
+	// each loop computes, then writes BytesPerNode per node.
+	Loops        int
+	BytesPerNode int64
+	Compute      des.Duration
+}
+
+func (j JobSpec) withDefaults() JobSpec {
+	if j.Nodes <= 0 {
+		j.Nodes = 16
+	}
+	if j.Loops <= 0 {
+		j.Loops = 8
+	}
+	if j.BytesPerNode <= 0 {
+		j.BytesPerNode = 4 << 30
+	}
+	if j.Compute <= 0 {
+		j.Compute = 10 * des.Second
+	}
+	return j
+}
+
+// Config describes the cluster scenario.
+type Config struct {
+	// Nodes is the cluster size (paper: 500 × 96-core nodes).
+	Nodes int
+	// FS defaults to a 120 GB/s file system, Fig. 1's setting.
+	FS *pfs.Config
+	// Jobs to run.
+	Jobs []JobSpec
+	// Policy selects the limiting behaviour.
+	Policy LimitPolicy
+	// Tol scales the applied limit, like the strategies' tolerance.
+	// Defaults to 1.1.
+	Tol float64
+	// Seed drives all randomness. Defaults to 1.
+	Seed int64
+	// MonitorInterval is the contention monitor's polling period.
+	// Defaults to 100 ms.
+	MonitorInterval des.Duration
+	// Scheduler selects the queueing discipline. Defaults to FCFS.
+	Scheduler SchedulerPolicy
+	// Debug prints monitor decisions.
+	Debug bool
+}
+
+// SchedulerPolicy selects how queued jobs are started.
+type SchedulerPolicy int
+
+const (
+	// FCFS starts jobs strictly in arrival order; a large job at the head
+	// blocks smaller jobs behind it (conservative, no backfilling).
+	FCFS SchedulerPolicy = iota
+	// Backfill lets any queued job start when it fits in the free nodes,
+	// skipping over a blocked head (relaxed backfilling without
+	// reservations — small jobs can leapfrog).
+	Backfill
+)
+
+// JobResult reports one job's outcome.
+type JobResult struct {
+	Job     int
+	Nodes   int
+	Async   bool
+	Arrival des.Time
+	Started des.Time // when nodes were allocated
+	Ended   des.Time
+}
+
+// Runtime is the job's execution time (excluding queue wait).
+func (j JobResult) Runtime() des.Duration { return j.Ended.Sub(j.Started) }
+
+// Result is the outcome of one cluster scenario.
+type Result struct {
+	Policy LimitPolicy
+	Jobs   []JobResult
+	// Bandwidth holds one write-bandwidth step series per job (Fig. 2),
+	// plus the running-jobs count series (Fig. 1) and the file system's
+	// total write utilization (fraction of capacity in use).
+	Bandwidth   []*metrics.Series
+	RunningJobs *metrics.Series
+	Utilization *metrics.Series
+	// LimitedSpans counts how many times the monitor toggled the limit on.
+	LimitToggles int
+	// Makespan is when the last job finished.
+	Makespan des.Time
+}
+
+// Run executes the scenario and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 500
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1.1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MonitorInterval <= 0 {
+		cfg.MonitorInterval = 100 * des.Millisecond
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("cluster: no jobs")
+	}
+
+	e := des.NewEngine(cfg.Seed)
+	fsCfg := pfs.Config{WriteCapacity: 120e9, ReadCapacity: 120e9}
+	if cfg.FS != nil {
+		fsCfg = *cfg.FS
+	}
+	fs := pfs.New(e, fsCfg)
+
+	res := &Result{
+		Policy:      cfg.Policy,
+		RunningJobs: &metrics.Series{Name: "running"},
+		Utilization: &metrics.Series{Name: "utilization"},
+	}
+	sim := &simulation{
+		e:       e,
+		fs:      fs,
+		cfg:     cfg,
+		res:     res,
+		free:    cfg.Nodes,
+		rates:   make([]float64, len(cfg.Jobs)),
+		running: make([]bool, len(cfg.Jobs)),
+		active:  make([]int, len(cfg.Jobs)),
+	}
+	for i := range cfg.Jobs {
+		res.Bandwidth = append(res.Bandwidth,
+			&metrics.Series{Name: fmt.Sprintf("job%d", i)})
+	}
+	fs.SetObserver(sim.observe)
+
+	for i, spec := range cfg.Jobs {
+		sim.submit(i, spec.withDefaults())
+	}
+	if cfg.Policy != NoLimit {
+		pol := sched.CapDuringContention
+		if cfg.Policy == LimitAlways {
+			pol = sched.CapAlways
+		}
+		sim.arbiter = sched.New(pol, cfg.Tol)
+		sim.startMonitor()
+	}
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	if sim.done != len(cfg.Jobs) {
+		return nil, fmt.Errorf("cluster: %d jobs did not finish", len(cfg.Jobs)-sim.done)
+	}
+	res.Makespan = sim.makespan
+	e.Shutdown() // reap the monitor process
+	return res, nil
+}
+
+// simulation carries the mutable scenario state.
+type simulation struct {
+	e        *des.Engine
+	fs       *pfs.PFS
+	cfg      Config
+	res      *Result
+	free     int
+	queue    []int // job ids waiting for nodes, FIFO
+	done     int
+	makespan des.Time
+
+	jobs    []*job
+	rates   []float64 // last observed write rate per job
+	running []bool
+	active  []int // active flows per job (both channels)
+
+	arbiter *sched.Arbiter
+}
+
+// job is one running job's handle.
+type job struct {
+	id     int
+	spec   JobSpec
+	sys    *mpiio.System
+	tracer *tmio.Tracer
+	world  *mpi.World
+}
+
+// submit schedules the job's arrival; it starts when enough nodes are free
+// (FCFS with queueing).
+func (s *simulation) submit(id int, spec JobSpec) {
+	s.jobs = append(s.jobs, &job{id: id, spec: spec})
+	s.res.Jobs = append(s.res.Jobs, JobResult{
+		Job: id, Nodes: spec.Nodes, Async: spec.Async, Arrival: spec.Arrival,
+	})
+	s.e.Schedule(spec.Arrival, des.PrioNormal, func() {
+		s.queue = append(s.queue, id)
+		s.tryStart()
+	})
+}
+
+// tryStart launches queued jobs while nodes are available, following the
+// configured scheduler policy.
+func (s *simulation) tryStart() {
+	switch s.cfg.Scheduler {
+	case Backfill:
+		// Scan the whole queue; start every job that fits.
+		for i := 0; i < len(s.queue); {
+			id := s.queue[i]
+			j := s.jobs[id]
+			if j.spec.Nodes > s.free {
+				i++
+				continue
+			}
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.free -= j.spec.Nodes
+			s.start(j)
+			i = 0 // free-node count changed: rescan from the head
+		}
+	default: // FCFS
+		for len(s.queue) > 0 {
+			id := s.queue[0]
+			j := s.jobs[id]
+			if j.spec.Nodes > s.free {
+				return
+			}
+			s.queue = s.queue[1:]
+			s.free -= j.spec.Nodes
+			s.start(j)
+		}
+	}
+}
+
+// start allocates the job's world and launches its ranks (one rank per
+// node: the Fig. 1 jobs are modelled at node granularity).
+func (s *simulation) start(j *job) {
+	id := j.id
+	s.running[id] = true
+	s.res.Jobs[id].Started = s.e.Now()
+	s.updateRunningSeries()
+
+	j.world = mpi.NewWorld(s.e, mpi.Config{Size: j.spec.Nodes, RanksPerNode: 1})
+	j.sys = mpiio.NewSystem(j.world, s.fs, adio.Config{
+		Tag:          pfs.Tag{Job: id},
+		FlowWeight:   1, // one rank per node ⇒ job weight = node count
+		RanksPerNode: 1,
+	})
+	j.tracer = tmio.Attach(j.sys, tmio.Config{DisableOverhead: true})
+	if s.arbiter != nil {
+		jj := j
+		s.arbiter.Register(sched.App{
+			ID:     id,
+			Async:  j.spec.Async,
+			Weight: float64(j.spec.Nodes),
+			Apply: func(cap float64) {
+				for rank := 0; rank < jj.spec.Nodes; rank++ {
+					jj.sys.Agent(rank).SetLimit(cap)
+				}
+			},
+		}, float64(j.spec.BytesPerNode)/j.spec.Compute.Seconds())
+	}
+
+	main := s.jobMain(j)
+	j.world.Launch(main)
+
+	world := j.world
+	s.e.Spawn(fmt.Sprintf("job%d-reaper", id), func(p *des.Proc) {
+		world.AllDone().Wait(p)
+		s.running[id] = false
+		if s.arbiter != nil {
+			s.arbiter.Unregister(id)
+		}
+		s.res.Jobs[id].Ended = p.Now()
+		if p.Now() > s.makespan {
+			s.makespan = p.Now()
+		}
+		s.done++
+		s.free += j.spec.Nodes
+		s.updateRunningSeries()
+		s.tryStart()
+	})
+}
+
+// jobMain builds the per-rank main: a HACC-IO-like loop of compute and
+// write phases. Synchronous jobs block on each write; the asynchronous job
+// overlaps the write with the next compute phase.
+func (s *simulation) jobMain(j *job) func(*mpi.Rank) {
+	spec := j.spec
+	return func(r *mpi.Rank) {
+		f := j.sys.Open(r, fmt.Sprintf("job%d-%04d.bin", j.id, r.ID()))
+		var req *mpiio.Request
+		for loop := 0; loop < spec.Loops; loop++ {
+			r.Barrier()
+			d := spec.Compute + r.Jitter(des.Duration(float64(spec.Compute)*0.03))
+			r.Compute(d)
+			if spec.Async {
+				if req != nil {
+					req.Wait()
+				}
+				req = f.IwriteAt(int64(loop)*spec.BytesPerNode, spec.BytesPerNode)
+			} else {
+				f.WriteAt(int64(loop)*spec.BytesPerNode, spec.BytesPerNode)
+			}
+		}
+		if req != nil {
+			req.Wait()
+		}
+	}
+}
+
+// observe is the PFS observer: it maintains per-job write-rate series and
+// activity counters for the contention monitor.
+func (s *simulation) observe(now des.Time, class pfs.Class, flows []*pfs.Flow) {
+	for i := range s.active {
+		s.active[i] = 0
+	}
+	sums := make(map[int]float64, len(s.jobs))
+	for _, f := range flows {
+		id := f.Tag().Job
+		if id < 0 || id >= len(s.jobs) {
+			continue
+		}
+		s.active[id]++
+		if class == pfs.Write {
+			sums[id] += f.Rate()
+		}
+	}
+	if class != pfs.Write {
+		return
+	}
+	var total float64
+	for id := range s.jobs {
+		s.rates[id] = sums[id]
+		s.res.Bandwidth[id].Append(now, sums[id])
+		total += sums[id]
+	}
+	s.res.Utilization.Append(now, total/s.fs.Capacity(pfs.Write))
+}
+
+func (s *simulation) updateRunningSeries() {
+	count := 0.0
+	for _, r := range s.running {
+		if r {
+			count++
+		}
+	}
+	s.res.RunningJobs.Append(s.e.Now(), count)
+}
+
+// startMonitor launches the contention monitor: it feeds the arbiter the
+// jobs' current activity and measured requirements and lets it decide
+// which asynchronous jobs to cap (internal/sched holds the policy logic).
+func (s *simulation) startMonitor() {
+	s.e.Spawn("contention-monitor", func(p *des.Proc) {
+		for {
+			if s.done == len(s.jobs) {
+				return
+			}
+			for id, j := range s.jobs {
+				s.arbiter.SetActive(id, s.active[id] > 0)
+				if j.spec.Async && j.tracer != nil && s.running[id] {
+					// Feed the worst (largest) rank-level requirement: a
+					// job-level cap must accommodate its hungriest rank.
+					var worst float64
+					for rank := 0; rank < j.spec.Nodes; rank++ {
+						if b := j.tracer.RequiredBandwidth(rank); b > worst {
+							worst = b
+						}
+					}
+					if worst > 0 {
+						s.arbiter.SetRequired(id, worst)
+					}
+				}
+			}
+			before := s.arbiter.Toggles()
+			if s.cfg.Policy == LimitPredictive {
+				s.refreshForecasts(p.Now())
+				s.arbiter.ReallocatePredictive(p.Now(), 4*s.cfg.MonitorInterval)
+			} else {
+				s.arbiter.Reallocate()
+			}
+			if after := s.arbiter.Toggles(); after != before {
+				s.res.LimitToggles += after - before
+				s.debugf("arbiter toggled caps (total %d)", after)
+			}
+			p.Sleep(s.cfg.MonitorInterval)
+		}
+	})
+}
+
+// DefaultScenario returns the Fig. 1 setup: eight HACC-IO-like jobs on a
+// 500-node cluster with a 120 GB/s file system; only job 4 is
+// asynchronous. Arrivals are lightly staggered so contention windows vary.
+//
+// Job 4 is a large (96-node) but compute-heavy application: its required
+// bandwidth (≈100 MB/s per node) is far below the burst share its node
+// count entitles it to, which is exactly the situation where limiting an
+// asynchronous application to its requirement frees real bandwidth for
+// the synchronous jobs.
+func DefaultScenario(policy LimitPolicy) Config {
+	nodes := []int{16, 32, 96, 32, 96, 96, 32, 16}
+	jobs := make([]JobSpec, len(nodes))
+	for i, n := range nodes {
+		jobs[i] = JobSpec{
+			Nodes:        n,
+			Async:        i == 4,
+			Arrival:      des.Time(i) * des.Time(5*des.Second),
+			Loops:        8,
+			BytesPerNode: 4 << 30,
+			Compute:      10 * des.Second,
+		}
+	}
+	jobs[4].Loops = 6
+	jobs[4].BytesPerNode = 3 << 29 // 1.5 GiB
+	jobs[4].Compute = 15 * des.Second
+	return Config{Nodes: 500, Jobs: jobs, Policy: policy}
+}
+
+// debugf prints monitor activity when Config.Debug is set.
+func (s *simulation) debugf(format string, args ...any) {
+	if s.cfg.Debug {
+		fmt.Printf("[%v] "+format+"\n", append([]any{s.e.Now()}, args...)...)
+	}
+}
+
+// refreshForecasts runs FTIO period detection over each synchronous job's
+// observed write bandwidth and feeds the arbiter a burst forecast when the
+// pattern is confidently periodic.
+func (s *simulation) refreshForecasts(now des.Time) {
+	for id, j := range s.jobs {
+		if j.spec.Async || !s.running[id] {
+			continue
+		}
+		start := s.res.Jobs[id].Started
+		span := now.Sub(start)
+		if span < des.Duration(4*int64(j.spec.Compute)) {
+			continue // not enough history yet
+		}
+		series := s.res.Bandwidth[id]
+		res, err := ftio.Detect(series, start, now, 128)
+		if err != nil || res.Confidence < 0.1 || res.Period <= 0 {
+			continue
+		}
+		// Burst length from the duty cycle above half the peak.
+		active := series.TimeAbove(series.Max()/2, start, now)
+		cycles := span.Seconds() / res.Period.Seconds()
+		burstLen := des.DurationOf(active.Seconds() / cycles)
+		// The last burst: walk back from now to the most recent rise.
+		last := now
+		for last > start && series.At(last) <= series.Max()/2 {
+			last -= des.Time(res.Period / 16)
+		}
+		s.arbiter.SetForecast(id, sched.Forecast{
+			Period:    res.Period,
+			BurstLen:  burstLen,
+			LastBurst: last,
+		})
+	}
+}

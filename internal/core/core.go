@@ -1,0 +1,76 @@
+// Package core is the paper's primary contribution in one place: the
+// required-bandwidth methodology (measure B_ij, derive the next phase's
+// limit, throttle the I/O thread) assembled from its two halves,
+// internal/tmio (the measuring/limiting tracer) and internal/adio (the
+// throttling I/O agent). The implementation lives in those packages; this
+// package names the contribution, re-exports its surface, and provides
+// the one-call entry point used when the full simulation facade
+// (package iobehind) is more than a caller needs.
+package core
+
+import (
+	"iobehind/internal/adio"
+	"iobehind/internal/des"
+	"iobehind/internal/mpi"
+	"iobehind/internal/mpiio"
+	"iobehind/internal/pfs"
+	"iobehind/internal/tmio"
+)
+
+// The contribution's surface, by part:
+//
+//   - measuring:  Tracer, Config, Report, PhaseEndRule, Aggregation
+//   - deciding:   Strategy, StrategyConfig (direct / up-only / adaptive /
+//     frequent), FrequencyTable
+//   - enforcing:  Agent, AgentConfig (sub-request throttle, Cases A/B)
+type (
+	// Tracer is the TMIO reimplementation.
+	Tracer = tmio.Tracer
+	// Config configures the tracer.
+	Config = tmio.Config
+	// Report is a traced run's result.
+	Report = tmio.Report
+	// Strategy selects the limiting strategy.
+	Strategy = tmio.Strategy
+	// StrategyConfig is a strategy plus tolerances.
+	StrategyConfig = tmio.StrategyConfig
+	// Agent is the throttling I/O thread of the modified ADIO layer.
+	Agent = adio.Agent
+	// AgentConfig parameterizes the agent.
+	AgentConfig = adio.Config
+)
+
+// Limiting strategies.
+const (
+	None     = tmio.None
+	Direct   = tmio.Direct
+	UpOnly   = tmio.UpOnly
+	Adaptive = tmio.Adaptive
+	Frequent = tmio.Frequent
+)
+
+// Attach installs the contribution on an MPI-IO subsystem: the tracer
+// intercepts the application's MPI-IO calls (the LD_PRELOAD moment) and
+// drives the per-rank agents' bandwidth limits.
+func Attach(sys *mpiio.System, cfg Config) *Tracer {
+	return tmio.Attach(sys, cfg)
+}
+
+// Assemble builds the whole measured-and-throttled I/O stack for a world:
+// per-rank agents on the file system, the MPI-IO surface, and the
+// attached tracer. It is the minimal wiring the paper's deployment
+// prescribes ("the application has to use the modified version of the
+// MPICH framework … and has to be linked to the intercepting library").
+func Assemble(w *mpi.World, fs *pfs.PFS, agentCfg AgentConfig, tracerCfg Config) (*mpiio.System, *Tracer) {
+	sys := mpiio.NewSystem(w, fs, agentCfg)
+	return sys, Attach(sys, tracerCfg)
+}
+
+// RequiredBandwidth is the core metric on its own: the bandwidth needed to
+// move bytes entirely within the available window (Eq. 1 of the paper).
+func RequiredBandwidth(bytes int64, window des.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(bytes) / window.Seconds()
+}

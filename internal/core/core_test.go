@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"iobehind/internal/des"
+	"iobehind/internal/mpi"
+	"iobehind/internal/pfs"
+)
+
+func TestAssembleRunsTheContribution(t *testing.T) {
+	e := des.NewEngine(1)
+	w := mpi.NewWorld(e, mpi.Config{Size: 4})
+	fs := pfs.New(e, pfs.Config{WriteCapacity: 1e9, ReadCapacity: 1e9})
+	sys, tr := Assemble(w, fs, AgentConfig{},
+		Config{Strategy: StrategyConfig{Strategy: Direct, Tol: 1.1}, DisableOverhead: true})
+	if err := w.Run(func(r *mpi.Rank) {
+		f := sys.Open(r, "out")
+		var req interface{ Wait() }
+		for j := 0; j < 5; j++ {
+			if req != nil {
+				req.Wait()
+			}
+			req = f.IwriteAt(0, 50<<20)
+			r.Compute(des.Second)
+		}
+		req.Wait()
+		r.Finalize()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := tr.Report()
+	if rep.RequiredBandwidth <= 0 || rep.FirstLimitAt == 0 {
+		t.Fatalf("contribution inactive: B=%v firstLimit=%v",
+			rep.RequiredBandwidth, rep.FirstLimitAt)
+	}
+	// The agents carry the derived limits.
+	if math.IsInf(sys.Agent(0).Limit(), 1) {
+		t.Fatal("no limit installed")
+	}
+}
+
+func TestRequiredBandwidth(t *testing.T) {
+	if got := RequiredBandwidth(100e6, des.Second); math.Abs(got-100e6) > 1 {
+		t.Fatalf("B = %v", got)
+	}
+	if RequiredBandwidth(1, 0) != 0 {
+		t.Fatal("degenerate window")
+	}
+}

@@ -1,0 +1,55 @@
+package des
+
+import (
+	"testing"
+)
+
+// BenchmarkEventThroughput measures raw function-event dispatch.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	var fire func(i int)
+	fire = func(i int) {
+		if i < b.N {
+			e.After(Microsecond, func() { fire(i + 1) })
+		}
+	}
+	b.ResetTimer()
+	fire(0)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcHandoff measures the park/wake goroutine handoff: the cost
+// of one process Sleep round trip.
+func BenchmarkProcHandoff(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkManyProcsRoundRobin measures scheduling across a wide process
+// set (one wake per proc per virtual tick).
+func BenchmarkManyProcsRoundRobin(b *testing.B) {
+	const procs = 1024
+	e := NewEngine(1)
+	rounds := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		e.Spawn("p", func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Sleep(Millisecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Event priorities. Among events scheduled for the same virtual instant,
+// lower priorities fire first. Using distinct bands keeps composite
+// operations deterministic: e.g. an I/O completion posted "now" is observed
+// before a compute phase that starts "now".
+const (
+	PrioEarly  int32 = -100
+	PrioNormal int32 = 0
+	PrioLate   int32 = 100
+)
+
+// killToken is delivered to a parked process by Engine.Shutdown to make it
+// unwind and exit. Regular wakeups always carry a non-zero token.
+const killToken uint64 = 0
+
+// errKilled is the sentinel panic value used to unwind killed processes.
+type errKilled struct{}
+
+// Engine is a deterministic discrete-event simulation kernel.
+//
+// The engine executes one event at a time. Function events run inline on
+// the engine's goroutine; process events transfer control to the process's
+// goroutine and wait for it to park again (or finish) before the next event
+// is considered. At any moment at most one goroutine owned by the engine is
+// running, so no locking is needed anywhere in the simulation and results
+// are reproducible.
+type Engine struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	handoff chan struct{}
+	procs   []*Proc
+	nextID  int
+	failure error
+	rng     *rand.Rand
+	running bool
+	stopped bool
+
+	// Statistics.
+	eventsRun int64
+	maxHeap   int
+}
+
+// NewEngine returns an engine with virtual time 0 and a PRNG seeded with
+// seed. All simulation randomness must come from Rand() so runs are
+// reproducible.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		handoff: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine-owned PRNG.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at the absolute virtual time at (which must not be in
+// the past) with the given priority. The returned cancel function marks the
+// event dead; it is a no-op after the event has fired.
+func (e *Engine) Schedule(at Time, prio int32, fn func()) (cancel func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past: %v < now %v", at, e.now))
+	}
+	e.seq++
+	ev := &event{at: at, prio: prio, seq: e.seq, fn: fn}
+	e.heap.push(ev)
+	return func() { ev.dead = true }
+}
+
+// After runs fn after duration d with normal priority.
+func (e *Engine) After(d Duration, fn func()) (cancel func()) {
+	return e.Schedule(e.now.Add(d), PrioNormal, fn)
+}
+
+// wakeAt schedules process p to resume at time at carrying token.
+func (e *Engine) wakeAt(p *Proc, at Time, prio int32, token uint64) *event {
+	if at < e.now {
+		panic(fmt.Sprintf("des: waking into the past: %v < now %v", at, e.now))
+	}
+	if token == killToken {
+		panic("des: zero wake token is reserved")
+	}
+	e.seq++
+	ev := &event{at: at, prio: prio, seq: e.seq, proc: p, token: token}
+	e.heap.push(ev)
+	return ev
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// are retained; Run can be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains, a process panics, or Stop is
+// called. It returns the first process failure, if any.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("des: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for e.heap.len() > 0 && !e.stopped {
+		if n := e.heap.len(); n > e.maxHeap {
+			e.maxHeap = n
+		}
+		ev := e.heap.pop()
+		if ev.dead {
+			continue
+		}
+		e.eventsRun++
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			e.dispatch(ev.proc, ev.token)
+		}
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	return nil
+}
+
+// dispatch resumes p with token and blocks until p parks again or exits.
+func (e *Engine) dispatch(p *Proc, token uint64) {
+	p.wake <- token
+	<-e.handoff
+}
+
+// Stalled returns the processes that are still alive after Run returned:
+// they are parked waiting for a wakeup that never came (usually a deadlock
+// or an intentionally infinite server process).
+func (e *Engine) Stalled() []*Proc {
+	var out []*Proc
+	for _, p := range e.procs {
+		if !p.finished {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Shutdown forcibly unwinds all still-parked processes so their goroutines
+// exit. Call it after Run when the simulation intentionally leaves server
+// processes running. Processes must not park inside deferred functions.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("des: Shutdown called while running")
+	}
+	for _, p := range e.procs {
+		if p.finished {
+			continue
+		}
+		p.killed = true
+		e.dispatch(p, killToken)
+	}
+	e.failure = nil
+}
+
+// Stats reports the engine's execution statistics.
+type Stats struct {
+	// EventsRun is the number of events executed (dead events excluded).
+	EventsRun int64
+	// MaxHeap is the peak size of the pending-event queue.
+	MaxHeap int
+	// Procs is the number of processes ever spawned.
+	Procs int
+	// Now is the current virtual time.
+	Now Time
+}
+
+// Stats returns execution statistics, useful for performance analysis of
+// the simulation itself.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		EventsRun: e.eventsRun,
+		MaxHeap:   e.maxHeap,
+		Procs:     len(e.procs),
+		Now:       e.now,
+	}
+}
+
+// fail records the first process failure; subsequent failures are dropped.
+func (e *Engine) fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+}

@@ -1,0 +1,77 @@
+package des
+
+// event is a scheduled occurrence: at time at, either run fn inline on the
+// engine loop, or wake proc.
+type event struct {
+	at    Time
+	prio  int32 // lower fires first among equal times
+	seq   uint64
+	fn    func()
+	proc  *Proc
+	token uint64 // wake token delivered to the proc (0 for fn events)
+	dead  bool   // cancelled events are skipped when popped
+}
+
+// eventHeap is a binary min-heap ordered by (at, prio, seq). It is
+// hand-rolled rather than using container/heap to avoid interface
+// allocations on the simulation hot path.
+type eventHeap struct {
+	items []*event
+}
+
+func (h *eventHeap) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(ev *event) {
+	h.items = append(h.items, ev)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	n := len(h.items)
+	if n == 0 {
+		return nil
+	}
+	top := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(h.items[left], h.items[smallest]) {
+			smallest = left
+		}
+		if right < n && h.less(h.items[right], h.items[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+func (h *eventHeap) len() int { return len(h.items) }

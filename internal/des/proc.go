@@ -1,0 +1,130 @@
+package des
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Proc is a simulation process: a goroutine that runs in virtual time under
+// the engine's strict one-at-a-time scheduling. All Proc methods must be
+// called from the process's own goroutine while it is the running process.
+type Proc struct {
+	e        *Engine
+	name     string
+	id       int
+	wake     chan uint64
+	finished bool
+	killed   bool
+	// waitSeq numbers this proc's blocking operations; it doubles as the
+	// wake token so stale wakeups can be detected.
+	waitSeq uint64
+}
+
+// Spawn creates a process named name running fn, scheduled to start at the
+// current virtual time. It may be called before Run or from a running
+// process.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt creates a process that starts at the absolute time at.
+func (e *Engine) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	e.nextID++
+	p := &Proc{e: e, name: name, id: e.nextID, wake: make(chan uint64)}
+	e.procs = append(e.procs, p)
+	go p.run(fn)
+	p.waitSeq++
+	e.wakeAt(p, at, PrioNormal, p.waitSeq)
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	<-p.wake // first activation
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(errKilled); !ok {
+				p.e.fail(fmt.Errorf("des: process %q panicked: %v\n%s", p.name, r, debug.Stack()))
+			}
+		}
+		p.finished = true
+		p.e.handoff <- struct{}{}
+	}()
+	fn(p)
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the engine-unique process id.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// park suspends the process until the engine delivers a wakeup, and returns
+// the token it carried. If the engine is shutting down, park unwinds the
+// goroutine by panicking with the kill sentinel.
+func (p *Proc) park() uint64 {
+	p.e.handoff <- struct{}{}
+	token := <-p.wake
+	if token == killToken {
+		panic(errKilled{})
+	}
+	return token
+}
+
+// nextToken returns a fresh wake token for this proc's next blocking wait.
+func (p *Proc) nextToken() uint64 {
+	p.waitSeq++
+	return p.waitSeq
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero (the process still yields so same-time events with lower
+// sequence numbers run first).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	tok := p.nextToken()
+	p.e.wakeAt(p, p.e.now.Add(d), PrioNormal, tok)
+	p.mustWake(tok)
+}
+
+// SleepUntil suspends the process until the absolute time at. If at is in
+// the past it yields immediately.
+func (p *Proc) SleepUntil(at Time) {
+	if at < p.e.now {
+		at = p.e.now
+	}
+	tok := p.nextToken()
+	p.e.wakeAt(p, at, PrioNormal, tok)
+	p.mustWake(tok)
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() {
+	tok := p.nextToken()
+	p.e.wakeAt(p, p.e.now, PrioLate, tok)
+	p.mustWake(tok)
+}
+
+// mustWake parks until the expected token arrives; any other token is a
+// kernel invariant violation.
+func (p *Proc) mustWake(expect uint64) {
+	got := p.park()
+	if got != expect {
+		panic(fmt.Sprintf("des: process %q woke with stale token %d (want %d)", p.name, got, expect))
+	}
+}
+
+// block parks the process and verifies the wake token; it is the primitive
+// used by the synchronization types in this package. The caller must have
+// arranged exactly one future wakeAt carrying tok.
+func (p *Proc) block(tok uint64) {
+	p.mustWake(tok)
+}

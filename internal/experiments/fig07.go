@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iobehind/internal/report"
+	"iobehind/internal/tmio"
+	"iobehind/internal/workloads"
+)
+
+// wacommSixRuns is the Fig. 7 run matrix: two repetitions each of the
+// direct strategy (tol = 2), the up-only strategy (tol = 1.1), and no
+// limiting.
+func wacommSixRuns() []tmio.StrategyConfig {
+	return []tmio.StrategyConfig{
+		{Strategy: tmio.Direct, Tol: 2}, {Strategy: tmio.Direct, Tol: 2},
+		{Strategy: tmio.UpOnly, Tol: 1.1}, {Strategy: tmio.UpOnly, Tol: 1.1},
+		{}, {},
+	}
+}
+
+// WacommDistRow is one (rank count, run) cell of the Fig. 7 sweep.
+type WacommDistRow struct {
+	Ranks    int
+	Run      int
+	Strategy tmio.StrategyConfig
+	Report   *tmio.Report
+}
+
+// WacommDistResult covers Fig. 7: WaComM++'s application time distribution
+// across rank counts and six runs.
+type WacommDistResult struct {
+	Scale Scale
+	Rows  []WacommDistRow
+}
+
+// Fig07 runs the WaComM++ distribution sweep.
+func Fig07(scale Scale) (*WacommDistResult, error) {
+	ranks := []int{8, 24}
+	cfg := workloads.WacommConfig{Particles: 200_000, Iterations: 8}
+	if scale == Paper {
+		ranks = []int{24, 48, 96, 192, 384, 768, 1536, 3072, 6144}
+		cfg = workloads.WacommConfig{} // paper defaults: 2e6 particles, 50 h
+	}
+	res := &WacommDistResult{Scale: scale}
+	for _, n := range ranks {
+		for run, strat := range wacommSixRuns() {
+			st := build(spec{
+				ranks:    n,
+				seed:     int64(1000*n + run + 1),
+				strategy: strat,
+				agent:    stormAgent(),
+				tracer:   tmio.Config{DisableOverhead: true},
+			})
+			rep, err := st.execute(workloads.WacommMain(st.sys, cfg))
+			if err != nil {
+				return nil, fmt.Errorf("fig07 ranks=%d run=%d: %w", n, run, err)
+			}
+			res.Rows = append(res.Rows, WacommDistRow{
+				Ranks: n, Run: run, Strategy: strat, Report: rep,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the Fig. 7 bars as rows.
+func (r *WacommDistResult) Render() string {
+	t := report.NewTable("Fig. 7 — WaComM++ time distribution (percent of total rank time)",
+		"ranks", "run", "strategy", "sync write", "async lost", "async exploit", "compute", "runtime")
+	for _, row := range r.Rows {
+		d := row.Report.Distribution()
+		t.AddRow(
+			fmt.Sprintf("%d", row.Ranks),
+			fmt.Sprintf("%d", row.Run),
+			row.Strategy.Label(),
+			report.Pct(d.SyncWrite+d.SyncRead),
+			report.Pct(d.AsyncWriteLost+d.AsyncReadLost),
+			report.Pct(d.AsyncWriteExploit+d.AsyncReadExploit),
+			report.Pct(d.ComputeFree),
+			report.Seconds(row.Report.AppTime),
+		)
+	}
+	return t.Render()
+}
+
+// MeanExploit returns the average exploit share for runs using the given
+// strategy kind — limited runs must beat unlimited ones.
+func (r *WacommDistResult) MeanExploit(strategy tmio.Strategy) float64 {
+	var sum float64
+	var n int
+	for _, row := range r.Rows {
+		if row.Strategy.Strategy != strategy {
+			continue
+		}
+		sum += row.Report.Distribution().ExploitTotal()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

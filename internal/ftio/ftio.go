@@ -1,0 +1,143 @@
+// Package ftio implements frequency-technique I/O phase detection, the
+// companion analysis the paper couples TMIO with ("the tool has been
+// recently used together with FTIO to predict online or detect offline the
+// I/O phases of an application", Sec. VII, citing Tarraf et al., IPDPS'24).
+//
+// The detector bins an I/O activity signal over time, applies a discrete
+// Fourier transform, and reports the dominant period along with a
+// confidence score. Periodic I/O — the checkpointing pattern that
+// dominates HPC write traffic — shows up as a sharp spectral line; its
+// period tells a scheduler when the next burst will come.
+package ftio
+
+import (
+	"fmt"
+	"math"
+
+	"iobehind/internal/des"
+	"iobehind/internal/metrics"
+	"iobehind/internal/region"
+)
+
+// Result describes the dominant periodicity of an I/O signal.
+type Result struct {
+	// Period of the dominant component.
+	Period des.Duration
+	// Frequency in Hz (1/Period).
+	Frequency float64
+	// Amplitude of the dominant spectral line (signal units).
+	Amplitude float64
+	// Confidence in [0,1]: the dominant line's share of the total
+	// non-DC spectral energy. Values near 1 mean strongly periodic I/O;
+	// values near 0 mean noise.
+	Confidence float64
+	// Bins is the number of samples analysed.
+	Bins int
+	// Mean is the signal's average (the DC component).
+	Mean float64
+}
+
+// String summarizes the detection.
+func (r *Result) String() string {
+	return fmt.Sprintf("period %.3gs (%.3g Hz), confidence %.2f",
+		r.Period.Seconds(), r.Frequency, r.Confidence)
+}
+
+// Detect analyses the series over [start, end) using the given number of
+// bins. The series is sampled at bin midpoints (a step series holds its
+// value between points, so midpoint sampling is exact for signals that
+// change slower than a bin).
+func Detect(s *metrics.Series, start, end des.Time, bins int) (*Result, error) {
+	if bins < 4 {
+		return nil, fmt.Errorf("ftio: need at least 4 bins, got %d", bins)
+	}
+	if end <= start {
+		return nil, fmt.Errorf("ftio: empty window [%v, %v)", start, end)
+	}
+	span := end.Sub(start)
+	samples := make([]float64, bins)
+	for i := 0; i < bins; i++ {
+		at := start.Add(des.Duration(int64(span) * (2*int64(i) + 1) / int64(2*bins)))
+		samples[i] = s.At(at)
+	}
+	return analyze(samples, span)
+}
+
+// DetectPhases builds the activity signal from rank-level phases (e.g. a
+// report's TPhases: each contributes its Value over [Start, End)) and
+// detects the dominant period.
+func DetectPhases(phases []region.Phase, bins int) (*Result, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("ftio: no phases")
+	}
+	series := region.Sweep("activity", phases)
+	start := phases[0].Start
+	end := phases[0].End
+	for _, ph := range phases {
+		if ph.Start < start {
+			start = ph.Start
+		}
+		if ph.End > end {
+			end = ph.End
+		}
+	}
+	return Detect(series, start, end, bins)
+}
+
+// analyze runs the DFT over the samples spanning the given duration.
+func analyze(samples []float64, span des.Duration) (*Result, error) {
+	n := len(samples)
+	mean := 0.0
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(n)
+
+	// Direct DFT on the mean-removed signal. n is a few thousand at most
+	// for our use, so O(n²) is fine and avoids radix restrictions.
+	half := n / 2
+	power := make([]float64, half+1)
+	var total float64
+	best, bestK := 0.0, 0
+	for k := 1; k <= half; k++ {
+		var re, im float64
+		w := 2 * math.Pi * float64(k) / float64(n)
+		for t, v := range samples {
+			x := v - mean
+			re += x * math.Cos(w*float64(t))
+			im -= x * math.Sin(w*float64(t))
+		}
+		p := re*re + im*im
+		power[k] = p
+		total += p
+		if p > best {
+			best, bestK = p, k
+		}
+	}
+	res := &Result{Bins: n, Mean: mean}
+	if total <= 0 || bestK == 0 {
+		// A constant signal: no periodicity at all.
+		return res, nil
+	}
+	spanSec := span.Seconds()
+	res.Frequency = float64(bestK) / spanSec
+	res.Period = des.DurationOf(spanSec / float64(bestK))
+	res.Amplitude = 2 * math.Sqrt(best) / float64(n)
+	res.Confidence = best / total
+	return res, nil
+}
+
+// PredictNext returns the expected start of the next I/O burst after now,
+// given a detection result and the time of the last observed burst start.
+// This is the online-prediction use FTIO serves: an I/O scheduler can
+// reserve bandwidth just before the burst arrives.
+func (r *Result) PredictNext(lastBurst, now des.Time) des.Time {
+	if r.Period <= 0 {
+		return 0
+	}
+	next := lastBurst
+	for next <= now {
+		next = next.Add(r.Period)
+	}
+	return next
+}

@@ -1,0 +1,165 @@
+package ftio
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iobehind/internal/des"
+	"iobehind/internal/metrics"
+	"iobehind/internal/region"
+)
+
+// periodicSeries builds a square-wave I/O signal: bursts of the given
+// height and width repeating with the given period.
+func periodicSeries(period, width des.Duration, height float64, cycles int) (*metrics.Series, des.Time) {
+	s := &metrics.Series{Name: "io"}
+	for i := 0; i < cycles; i++ {
+		start := des.Time(int64(period) * int64(i))
+		s.Append(start, height)
+		s.Append(start.Add(width), 0)
+	}
+	end := des.Time(int64(period) * int64(cycles))
+	return s, end
+}
+
+func TestDetectSquareWavePeriod(t *testing.T) {
+	period := des.Duration(10 * des.Second)
+	s, end := periodicSeries(period, 2*des.Second, 100e6, 16)
+	res, err := Detect(s, 0, end, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Period.Seconds(); math.Abs(got-10) > 0.5 {
+		t.Fatalf("period = %v, want ~10s", got)
+	}
+	// A 20%-duty square wave spreads energy into harmonics; the
+	// fundamental holds roughly 40% of the non-DC energy.
+	if res.Confidence < 0.35 {
+		t.Fatalf("confidence = %v for a clean square wave", res.Confidence)
+	}
+	if math.Abs(res.Frequency-0.1) > 0.01 {
+		t.Fatalf("frequency = %v, want ~0.1 Hz", res.Frequency)
+	}
+	if !strings.Contains(res.String(), "period") {
+		t.Fatal("String format")
+	}
+}
+
+func TestDetectConstantSignalNoPeriod(t *testing.T) {
+	s := &metrics.Series{Name: "flat"}
+	s.Append(0, 42)
+	res, err := Detect(s, 0, des.Time(100*des.Second), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence != 0 || res.Period != 0 {
+		t.Fatalf("constant signal detected period: %+v", res)
+	}
+	if math.Abs(res.Mean-42) > 1e-9 {
+		t.Fatalf("mean = %v", res.Mean)
+	}
+}
+
+func TestDetectNoiseHasLowConfidence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := &metrics.Series{Name: "noise"}
+	for i := 0; i < 400; i++ {
+		s.Append(des.Time(i)*des.Time(des.Second), rng.Float64()*100)
+	}
+	res, err := Detect(s, 0, des.Time(400*des.Second), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence > 0.3 {
+		t.Fatalf("white noise confidence = %v, want low", res.Confidence)
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	s := &metrics.Series{}
+	if _, err := Detect(s, 0, 100, 2); err == nil {
+		t.Fatal("too few bins accepted")
+	}
+	if _, err := Detect(s, 100, 100, 64); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := DetectPhases(nil, 64); err == nil {
+		t.Fatal("no phases accepted")
+	}
+}
+
+func TestDetectPhases(t *testing.T) {
+	// 8 ranks each bursting for 1 s every 10 s: the aggregate signal is a
+	// clean 0.1 Hz square wave.
+	var phases []region.Phase
+	for cycle := 0; cycle < 12; cycle++ {
+		for rank := 0; rank < 8; rank++ {
+			start := des.Time(cycle * 10 * int(des.Second))
+			phases = append(phases, region.Phase{
+				Rank:  rank,
+				Index: cycle,
+				Start: start,
+				End:   start.Add(des.Second),
+				Value: 50e6,
+			})
+		}
+	}
+	res, err := DetectPhases(phases, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Period.Seconds(); math.Abs(got-10) > 1 {
+		t.Fatalf("period = %v, want ~10s", got)
+	}
+}
+
+func TestPredictNext(t *testing.T) {
+	r := &Result{Period: des.Duration(10 * des.Second)}
+	last := des.Time(5 * des.Second)
+	now := des.Time(32 * des.Second)
+	if got := r.PredictNext(last, now); got != des.Time(35*des.Second) {
+		t.Fatalf("next = %v, want 35s", got)
+	}
+	if (&Result{}).PredictNext(last, now) != 0 {
+		t.Fatal("no-period prediction should be zero")
+	}
+	// A burst exactly at now predicts the following one.
+	if got := r.PredictNext(now, now); got != des.Time(42*des.Second) {
+		t.Fatalf("next = %v, want 42s", got)
+	}
+}
+
+// TestDetectRecoversPeriodProperty: for random periods and duty cycles,
+// the detector recovers the fundamental (or a harmonic of it) with
+// reasonable confidence.
+func TestDetectRecoversPeriodProperty(t *testing.T) {
+	f := func(p uint8, duty uint8, cyc uint8) bool {
+		periodSec := float64(p%20) + 4       // 4..23 s
+		dutyFrac := 0.2 + float64(duty%4)/10 // 0.2..0.5
+		cycles := int(cyc%10) + 8            // 8..17
+		period := des.DurationOf(periodSec)
+		s, end := periodicSeries(period, des.DurationOf(periodSec*dutyFrac), 1e9, cycles)
+		res, err := Detect(s, 0, end, 512)
+		if err != nil {
+			return false
+		}
+		if res.Confidence < 0.2 {
+			return false
+		}
+		// The detected period must be the fundamental or one of its first
+		// few harmonics (square waves have strong harmonics).
+		for h := 1; h <= 5; h++ {
+			if math.Abs(res.Period.Seconds()*float64(h)-periodSec) < 0.25*periodSec {
+				return true
+			}
+		}
+		return false
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a logarithmic histogram (base-2 buckets) for positive
+// values spanning many orders of magnitude: request sizes, phase lengths,
+// bandwidths.
+type Histogram struct {
+	counts map[int]int
+	total  int
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records a value; non-positive values are dropped.
+func (h *Histogram) Observe(v float64) {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int)
+		h.min = v
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[int(math.Floor(math.Log2(v)))]++
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of observed values.
+func (h *Histogram) Count() int { return h.total }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+func (h *Histogram) Max() float64 { return h.max }
+
+// Bucket is one populated histogram bucket: values in [Lo, Hi).
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Buckets returns the populated buckets in ascending order.
+func (h *Histogram) Buckets() []Bucket {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Bucket, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Bucket{
+			Lo:    math.Pow(2, float64(k)),
+			Hi:    math.Pow(2, float64(k+1)),
+			Count: h.counts[k],
+		})
+	}
+	return out
+}
+
+// Mode returns the midpoint of the most populated bucket (0 when empty);
+// ties break toward the larger bucket.
+func (h *Histogram) Mode() float64 {
+	best, bestCount := math.MinInt32, 0
+	for k, n := range h.counts {
+		if n > bestCount || (n == bestCount && k > best) {
+			best, bestCount = k, n
+		}
+	}
+	if bestCount == 0 {
+		return 0
+	}
+	return math.Pow(2, float64(best)) * 1.5
+}
+
+// Render draws the histogram as rows of #-bars, with unit applied to the
+// bucket bounds via format (e.g. "%.0f B").
+func (h *Histogram) Render(title, format string, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s (n=%d, mean %s) ==\n", title, h.total,
+			fmt.Sprintf(format, h.Mean()))
+	}
+	buckets := h.Buckets()
+	maxCount := 0
+	for _, bk := range buckets {
+		if bk.Count > maxCount {
+			maxCount = bk.Count
+		}
+	}
+	for _, bk := range buckets {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", bk.Count*width/maxCount)
+		}
+		fmt.Fprintf(&b, "[%12s, %12s)  %6d %s\n",
+			fmt.Sprintf(format, bk.Lo), fmt.Sprintf(format, bk.Hi), bk.Count, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Mode() != 0 {
+		t.Fatal("empty histogram state")
+	}
+	for _, v := range []float64{1, 1.5, 3, 3.5, 3.9, 100} {
+		h.Observe(v)
+	}
+	h.Observe(-1)          // dropped
+	h.Observe(0)           // dropped
+	h.Observe(math.NaN())  // dropped
+	h.Observe(math.Inf(1)) // dropped
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	wantMean := (1 + 1.5 + 3 + 3.5 + 3.9 + 100) / 6
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// Buckets: [1,2):2, [2,4):3, [64,128):1.
+	buckets := h.Buckets()
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %+v", buckets)
+	}
+	if buckets[0].Lo != 1 || buckets[0].Count != 2 {
+		t.Fatalf("bucket 0 = %+v", buckets[0])
+	}
+	if buckets[1].Lo != 2 || buckets[1].Count != 3 {
+		t.Fatalf("bucket 1 = %+v", buckets[1])
+	}
+	// Mode: midpoint of [2,4) = 3.
+	if h.Mode() != 3 {
+		t.Fatalf("mode = %v", h.Mode())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(100)
+	out := h.Render("sizes", "%.0f B", 20)
+	if !strings.Contains(out, "== sizes (n=11") {
+		t.Fatalf("title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines:\n%s", out)
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 20)) {
+		t.Fatalf("dominant bucket bar:\n%s", out)
+	}
+}

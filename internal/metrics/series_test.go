@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iobehind/internal/des"
+)
+
+func TestSeriesAppendAndAt(t *testing.T) {
+	var s Series
+	s.Append(10, 1)
+	s.Append(20, 2)
+	s.Append(20, 3) // same-time overwrite
+	s.Append(30, 3) // duplicate value coalesced
+	s.Append(40, 0)
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %v", s.Points)
+	}
+	cases := map[des.Time]float64{5: 0, 10: 1, 15: 1, 20: 3, 35: 3, 40: 0, 100: 0}
+	for at, want := range cases {
+		if got := s.At(at); got != want {
+			t.Errorf("At(%d) = %v, want %v", at, got, want)
+		}
+	}
+	if s.Max() != 3 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if s.End() != 40 {
+		t.Fatalf("End = %v", s.End())
+	}
+}
+
+func TestSeriesBackwardsPanics(t *testing.T) {
+	var s Series
+	s.Append(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards append did not panic")
+		}
+	}()
+	s.Append(5, 2)
+}
+
+func TestSeriesIntegral(t *testing.T) {
+	var s Series
+	sec := func(x float64) des.Time { return des.Time(des.DurationOf(x)) }
+	s.Append(sec(0), 10)
+	s.Append(sec(2), 0)
+	s.Append(sec(3), 5)
+	s.Append(sec(5), 0)
+	// ∫ = 10*2 + 0*1 + 5*2 = 30
+	if got := s.Integral(sec(0), sec(5)); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("Integral = %v, want 30", got)
+	}
+	// Partial window [1, 4): 10*1 + 0*1 + 5*1 = 15.
+	if got := s.Integral(sec(1), sec(4)); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("partial Integral = %v, want 15", got)
+	}
+	if got := s.Integral(sec(4), sec(4)); got != 0 {
+		t.Fatalf("empty Integral = %v", got)
+	}
+}
+
+func TestSeriesTimeAbove(t *testing.T) {
+	var s Series
+	sec := func(x float64) des.Time { return des.Time(des.DurationOf(x)) }
+	s.Append(sec(0), 10)
+	s.Append(sec(2), 1)
+	s.Append(sec(4), 20)
+	s.Append(sec(6), 0)
+	if got := s.TimeAbove(5, sec(0), sec(6)); got != 4*des.Second {
+		t.Fatalf("TimeAbove = %v, want 4s", got)
+	}
+	if got := s.TimeAbove(100, sec(0), sec(6)); got != 0 {
+		t.Fatalf("TimeAbove(100) = %v", got)
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	a := Interval{Start: 10, End: 20}
+	cases := []struct {
+		b    Interval
+		want des.Duration
+	}{
+		{Interval{0, 5}, 0},
+		{Interval{0, 15}, 5},
+		{Interval{12, 18}, 6},
+		{Interval{15, 30}, 5},
+		{Interval{20, 30}, 0},
+		{Interval{10, 20}, 10},
+	}
+	for _, c := range cases {
+		if got := a.Overlap(c.b); got != c.want {
+			t.Errorf("Overlap(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+	if (Interval{5, 5}).Duration() != 0 || (Interval{9, 5}).Duration() != 0 {
+		t.Fatal("degenerate durations")
+	}
+}
+
+func TestIntervalsAddMergeAndOverlap(t *testing.T) {
+	var set Intervals
+	set.Add(Interval{0, 10})
+	set.Add(Interval{10, 15}) // adjoining: merged
+	set.Add(Interval{20, 30})
+	set.Add(Interval{40, 40}) // empty: dropped
+	if set.Len() != 2 {
+		t.Fatalf("len = %d, want 2", set.Len())
+	}
+	if set.Total() != 25 {
+		t.Fatalf("total = %v", set.Total())
+	}
+	if got := set.OverlapWith(Interval{5, 25}); got != 15 {
+		t.Fatalf("overlap = %v, want 15", got)
+	}
+	if got := set.OverlapWith(Interval{16, 19}); got != 0 {
+		t.Fatalf("overlap in gap = %v", got)
+	}
+}
+
+func TestIntervalsOutOfOrderPanics(t *testing.T) {
+	var set Intervals
+	set.Add(Interval{10, 20})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order add did not panic")
+		}
+	}()
+	set.Add(Interval{5, 8})
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-5) > 1e-9 || math.Abs(s.Std-2) > 1e-9 {
+		t.Fatalf("mean/std = %v/%v", s.Mean, s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := map[float64]float64{0: 1, 50: 5, 90: 9, 100: 10, 150: 10, -5: 1}
+	for p, want := range cases {
+		if got := Percentile(vals, p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+// TestIntervalsOverlapProperty compares OverlapWith against brute force on
+// random disjoint interval sets.
+func TestIntervalsOverlapProperty(t *testing.T) {
+	f := func(gaps []uint8, q0, ql uint16) bool {
+		var set Intervals
+		var list []Interval
+		cur := des.Time(0)
+		for i := 0; i+1 < len(gaps) && i < 40; i += 2 {
+			cur += des.Time(gaps[i]) + 1
+			iv := Interval{Start: cur, End: cur + des.Time(gaps[i+1]) + 1}
+			set.Add(iv)
+			list = append(list, iv)
+			cur = iv.End + 1
+		}
+		q := Interval{Start: des.Time(q0), End: des.Time(q0) + des.Time(ql)}
+		var want des.Duration
+		for _, iv := range list {
+			want += iv.Overlap(q)
+		}
+		return set.OverlapWith(q) == want
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntegralNonNegativeProperty: integrals of non-negative series are
+// non-negative and additive over adjacent windows.
+func TestIntegralNonNegativeProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		var s Series
+		tm := des.Time(0)
+		for _, v := range vals {
+			s.Append(tm, float64(v%100))
+			tm += des.Time(des.Second)
+		}
+		end := tm + des.Time(des.Second)
+		mid := end / 2
+		whole := s.Integral(0, end)
+		split := s.Integral(0, mid) + s.Integral(mid, end)
+		return whole >= 0 && math.Abs(whole-split) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(22))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

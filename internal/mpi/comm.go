@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"iobehind/internal/des"
+)
+
+// Comm is a sub-communicator: a subset of the world's ranks with its own
+// synchronizing collectives (MPI_Comm_split). Hierarchical applications —
+// WaComM++'s node-level/island-level decomposition, for example — use one
+// communicator per level.
+type Comm struct {
+	w     *World
+	ranks []int       // world rank ids, sorted
+	index map[int]int // world rank id → local rank
+	bar   *des.Barrier
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// LocalRank returns r's rank within the communicator.
+func (c *Comm) LocalRank(r *Rank) int {
+	lr, ok := c.index[r.id]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d is not in this communicator", r.id))
+	}
+	return lr
+}
+
+// Contains reports whether world rank id belongs to the communicator.
+func (c *Comm) Contains(id int) bool {
+	_, ok := c.index[id]
+	return ok
+}
+
+// Barrier blocks until all communicator members arrive.
+func (c *Comm) Barrier(r *Rank) {
+	c.check(r)
+	c.bar.Await(r.proc, c.w.cfg.Cost.barrier(len(c.ranks)))
+}
+
+// Bcast broadcasts bytes within the communicator.
+func (c *Comm) Bcast(r *Rank, root int, bytes int64) {
+	_ = root
+	c.check(r)
+	c.bar.Await(r.proc, c.w.cfg.Cost.bcast(len(c.ranks), bytes))
+}
+
+// Allreduce combines bytes across the communicator members.
+func (c *Comm) Allreduce(r *Rank, bytes int64) {
+	c.check(r)
+	c.bar.Await(r.proc, c.w.cfg.Cost.allreduce(len(c.ranks), bytes))
+}
+
+// Gather collects bytesPerRank at the communicator root.
+func (c *Comm) Gather(r *Rank, root int, bytesPerRank int64) {
+	_ = root
+	c.check(r)
+	c.bar.Await(r.proc, c.w.cfg.Cost.gather(len(c.ranks), bytesPerRank))
+}
+
+func (c *Comm) check(r *Rank) {
+	if !c.Contains(r.id) {
+		panic(fmt.Sprintf("mpi: rank %d calling collective on foreign communicator", r.id))
+	}
+}
+
+// splitState coordinates one in-flight MPI_Comm_split across the world.
+type splitState struct {
+	colors  map[int]int // world rank → color
+	arrived int
+	done    *des.Completion
+	comms   map[int]*Comm // color → communicator
+}
+
+// Split is the collective MPI_Comm_split: every rank of the world must
+// call it (with any color); ranks sharing a color end up in the same
+// communicator. Consecutive Splits must be issued in the same order on
+// all ranks, like any collective.
+func (r *Rank) Split(color int) *Comm {
+	w := r.w
+	if w.split == nil {
+		w.split = &splitState{
+			colors: make(map[int]int),
+			done:   des.NewCompletion(w.e),
+		}
+	}
+	st := w.split
+	st.colors[r.id] = color
+	st.arrived++
+	if st.arrived < w.cfg.Size {
+		st.done.Wait(r.proc)
+	} else {
+		// Last arrival builds all communicators and releases everyone.
+		st.comms = make(map[int]*Comm)
+		byColor := make(map[int][]int)
+		for id, col := range st.colors {
+			byColor[col] = append(byColor[col], id)
+		}
+		for col, ids := range byColor {
+			sort.Ints(ids)
+			comm := &Comm{w: w, ranks: ids, index: make(map[int]int, len(ids))}
+			for i, id := range ids {
+				comm.index[id] = i
+			}
+			comm.bar = des.NewBarrier(w.e, len(ids))
+			st.comms[col] = comm
+		}
+		w.split = nil // allow the next Split round
+		st.done.Complete()
+	}
+	return st.comms[st.colors[r.id]]
+}
+
+// NodeComm splits the world into one communicator per node (the common
+// shared-memory decomposition).
+func (r *Rank) NodeComm() *Comm {
+	return r.Split(r.id / r.w.cfg.RanksPerNode)
+}

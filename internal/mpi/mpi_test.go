@@ -1,0 +1,498 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"iobehind/internal/des"
+)
+
+func newTestWorld(t *testing.T, size int) *World {
+	t.Helper()
+	e := des.NewEngine(1)
+	return NewWorld(e, Config{Size: size})
+}
+
+func TestWorldBasics(t *testing.T) {
+	w := newTestWorld(t, 4)
+	if w.Size() != 4 {
+		t.Fatalf("size = %d", w.Size())
+	}
+	if w.Rank(2).ID() != 2 {
+		t.Fatalf("rank id = %d", w.Rank(2).ID())
+	}
+	if len(w.Ranks()) != 4 {
+		t.Fatal("Ranks length")
+	}
+	if w.Nodes() != 1 {
+		t.Fatalf("4 ranks on 96-core nodes = %d nodes, want 1", w.Nodes())
+	}
+	w2 := NewWorld(des.NewEngine(1), Config{Size: 9216})
+	if w2.Nodes() != 96 {
+		t.Fatalf("9216 ranks = %d nodes, want 96", w2.Nodes())
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 0 did not panic")
+		}
+	}()
+	NewWorld(des.NewEngine(1), Config{Size: 0})
+}
+
+func TestRunAllRanks(t *testing.T) {
+	w := newTestWorld(t, 8)
+	var ran int
+	if err := w.Run(func(r *Rank) {
+		r.Compute(des.Duration(r.ID()+1) * des.Second)
+		ran++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 8 {
+		t.Fatalf("ran = %d", ran)
+	}
+	if !w.AllDone().Done() {
+		t.Fatal("AllDone did not fire")
+	}
+	if got := w.Rank(7).Ended().Seconds(); got != 8 {
+		t.Fatalf("rank 7 ended at %v, want 8s", got)
+	}
+}
+
+func TestDoubleLaunchPanics(t *testing.T) {
+	w := newTestWorld(t, 1)
+	w.Launch(func(r *Rank) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Launch did not panic")
+		}
+	}()
+	w.Launch(func(r *Rank) {})
+}
+
+func TestBarrierSynchronizesRanks(t *testing.T) {
+	w := newTestWorld(t, 4)
+	var after []des.Time
+	if err := w.Run(func(r *Rank) {
+		r.Compute(des.Duration(r.ID()) * des.Second)
+		r.Barrier()
+		after = append(after, r.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range after {
+		if at < des.Time(3*des.Second) {
+			t.Fatalf("rank released at %v before slowest arrival", at)
+		}
+	}
+}
+
+func TestBcastCostGrowsWithSizeAndBytes(t *testing.T) {
+	elapsed := func(n int, bytes int64) des.Duration {
+		w := NewWorld(des.NewEngine(1), Config{Size: n})
+		var end des.Time
+		if err := w.Run(func(r *Rank) {
+			r.Bcast(0, bytes)
+			end = r.Now()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return end.Sub(0)
+	}
+	small := elapsed(2, 1024)
+	big := elapsed(64, 1024)
+	bigger := elapsed(64, 1024*1024)
+	if !(small < big && big < bigger) {
+		t.Fatalf("cost ordering violated: %v, %v, %v", small, big, bigger)
+	}
+}
+
+func TestAllreduceCostsTwiceBcast(t *testing.T) {
+	c := DefaultCostModel()
+	if c.allreduce(16, 4096) != 2*c.bcast(16, 4096) {
+		t.Fatal("allreduce != 2*bcast")
+	}
+	if c.reduce(16, 4096) != c.bcast(16, 4096) {
+		t.Fatal("reduce != bcast")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSendRecvDeliversAfterWireCost(t *testing.T) {
+	w := newTestWorld(t, 2)
+	var recvAt des.Time
+	var gotBytes int64
+	if err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Compute(des.Second)
+			r.Send(1, 7, 125_000_000) // 125 MB at 12.5 GB/s = 10 ms
+		} else {
+			gotBytes = r.Recv(0, 7)
+			recvAt = r.Now()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gotBytes != 125_000_000 {
+		t.Fatalf("bytes = %d", gotBytes)
+	}
+	want := 1.0 + 0.010 + 2e-6
+	if got := recvAt.Seconds(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("recv at %v, want ~%v", got, want)
+	}
+}
+
+func TestSendRecvTagsIndependent(t *testing.T) {
+	w := newTestWorld(t, 2)
+	var order []int
+	if err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1, 1)
+			r.Send(1, 2, 2)
+		} else {
+			order = append(order, int(r.Recv(0, 2)))
+			order = append(order, int(r.Recv(0, 1)))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[2 1]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSendRecvValidation(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(5, 0, 1)
+		}
+	})
+	if err == nil {
+		t.Fatal("invalid destination did not fail the run")
+	}
+}
+
+func TestGrequestWaitTest(t *testing.T) {
+	w := newTestWorld(t, 1)
+	if err := w.Run(func(r *Rank) {
+		g := w.StartGrequest()
+		if g.Test() {
+			t.Error("fresh grequest is complete")
+		}
+		w.Engine().After(2*des.Second, g.Complete)
+		g.Wait(r)
+		if r.Now() != des.Time(2*des.Second) {
+			t.Errorf("woke at %v", r.Now())
+		}
+		if !g.Test() || g.CompletedAt() != des.Time(2*des.Second) {
+			t.Error("grequest state wrong after completion")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitall(t *testing.T) {
+	w := newTestWorld(t, 1)
+	if err := w.Run(func(r *Rank) {
+		var reqs []Request
+		for i := 1; i <= 3; i++ {
+			g := w.StartGrequest()
+			w.Engine().After(des.Duration(i)*des.Second, g.Complete)
+			reqs = append(reqs, g)
+		}
+		Waitall(r, reqs)
+		if r.Now() != des.Time(3*des.Second) {
+			t.Errorf("Waitall returned at %v", r.Now())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeDrainsInterference(t *testing.T) {
+	w := newTestWorld(t, 1)
+	if err := w.Run(func(r *Rank) {
+		r.AddInterference(0.5)
+		r.Compute(des.Second)
+		if got := r.Now().Seconds(); math.Abs(got-1.5) > 1e-9 {
+			t.Errorf("compute with penalty ended at %v, want 1.5s", got)
+		}
+		if got := r.ComputeTime().Seconds(); math.Abs(got-1.5) > 1e-9 {
+			t.Errorf("computeTime = %v", got)
+		}
+		// Penalty arriving during the drain is also absorbed.
+		w.Engine().After(des.Second/4, func() { r.AddInterference(0.25) })
+		r.Compute(des.Second / 2)
+		if got := r.Now().Seconds(); math.Abs(got-2.25) > 1e-9 {
+			t.Errorf("second compute ended at %v, want 2.25s", got)
+		}
+		r.AddInterference(-3) // ignored
+		r.Compute(0)
+		if got := r.Now().Seconds(); math.Abs(got-2.25) > 1e-9 {
+			t.Errorf("negative interference affected time: %v", got)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterferencePenalty(t *testing.T) {
+	m := InterferenceModel{Kappa: 0.4, RefRate: 2e9, Exponent: 2}
+	// 1 s at the reference rate: penalty = kappa.
+	if got := m.Penalty(1, 2e9); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("penalty = %v, want 0.4", got)
+	}
+	// Quadratic: twice the rate, 4x the per-second penalty.
+	if got := m.Penalty(1, 4e9); math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("penalty = %v, want 1.6", got)
+	}
+	// Same bytes moved at double rate (half duration): 2x total penalty.
+	slow := m.Penalty(2, 2e9)
+	fast := m.Penalty(1, 4e9)
+	if math.Abs(fast-2*slow) > 1e-12 {
+		t.Fatalf("burst premium broken: fast=%v slow=%v", fast, slow)
+	}
+	// Linear exponent: rate-independent per byte.
+	lin := InterferenceModel{Kappa: 0.4, RefRate: 2e9, Exponent: 1}
+	if math.Abs(lin.Penalty(2, 2e9)-lin.Penalty(1, 4e9)) > 1e-12 {
+		t.Fatal("linear model should charge equal penalty per byte")
+	}
+	// Disabled / degenerate inputs.
+	if (InterferenceModel{}).Penalty(1, 1e9) != 0 {
+		t.Fatal("zero model must charge nothing")
+	}
+	if m.Penalty(-1, 1e9) != 0 || m.Penalty(1, 0) != 0 {
+		t.Fatal("degenerate inputs must charge nothing")
+	}
+	// Defaults fill in.
+	d := InterferenceModel{Kappa: 1}
+	if got := d.Penalty(1, 2e9); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("default RefRate/Exponent: %v", got)
+	}
+}
+
+func TestFinalizeHooks(t *testing.T) {
+	w := newTestWorld(t, 3)
+	var calls []int
+	w.AddFinalizeHook(func(r *Rank) { calls = append(calls, r.ID()) })
+	if err := w.Run(func(r *Rank) {
+		r.Compute(des.Duration(r.ID()) * des.Second)
+		r.Finalize()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(calls) != "[0 1 2]" {
+		t.Fatalf("finalize calls = %v", calls)
+	}
+}
+
+func TestDoubleFinalizePanics(t *testing.T) {
+	w := newTestWorld(t, 1)
+	err := w.Run(func(r *Rank) {
+		r.Finalize()
+		r.Finalize()
+	})
+	if err == nil {
+		t.Fatal("double finalize did not fail")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Recv(1, 0) // never sent
+		}
+	})
+	if err == nil {
+		t.Fatal("deadlocked world reported success")
+	}
+	w.Engine().Shutdown()
+}
+
+func TestJitterBounded(t *testing.T) {
+	w := newTestWorld(t, 1)
+	if err := w.Run(func(r *Rank) {
+		for i := 0; i < 100; i++ {
+			j := r.Jitter(des.Millisecond)
+			if j < 0 || j >= des.Millisecond {
+				t.Errorf("jitter %v out of range", j)
+			}
+		}
+		if r.Jitter(0) != 0 {
+			t.Error("Jitter(0) != 0")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendCompletesAfterInjection(t *testing.T) {
+	w := newTestWorld(t, 2)
+	if err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			req := r.Isend(1, 0, 125_000_000) // 10 ms wire time
+			if req.Test() {
+				t.Error("isend complete immediately")
+			}
+			req.Wait(r)
+			if got := r.Now().Seconds(); math.Abs(got-0.010002) > 1e-4 {
+				t.Errorf("isend completed at %v", got)
+			}
+		} else {
+			r.Recv(0, 0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvOverlapsCompute(t *testing.T) {
+	w := newTestWorld(t, 2)
+	if err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Compute(des.Second)
+			r.Send(1, 3, 4096)
+		} else {
+			req := r.Irecv(0, 3)
+			r.Compute(2 * des.Second) // message arrives mid-compute
+			req.Wait(r)               // returns immediately
+			if got := r.Now().Seconds(); math.Abs(got-2) > 1e-6 {
+				t.Errorf("irecv wait returned at %v, want 2s (hidden)", got)
+			}
+			if req.Bytes() != 4096 || !req.Test() {
+				t.Error("irecv payload")
+			}
+			if req.CompletedAt().Seconds() > 1.1 {
+				t.Errorf("message arrived at %v, want ~1s", req.CompletedAt())
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvValidation(t *testing.T) {
+	w := newTestWorld(t, 1)
+	err := w.Run(func(r *Rank) { r.Irecv(7, 0) })
+	if err == nil {
+		t.Fatal("invalid source accepted")
+	}
+}
+
+func TestCommSplit(t *testing.T) {
+	w := newTestWorld(t, 6)
+	var evenAt, oddAt []des.Time
+	if err := w.Run(func(r *Rank) {
+		comm := r.Split(r.ID() % 2)
+		if comm.Size() != 3 {
+			t.Errorf("comm size = %d", comm.Size())
+		}
+		if !comm.Contains(r.ID()) {
+			t.Error("not member of own comm")
+		}
+		want := r.ID() / 2
+		if got := comm.LocalRank(r); got != want {
+			t.Errorf("local rank = %d, want %d", got, want)
+		}
+		// Only the even comm computes before its barrier: the odd comm's
+		// barrier must not wait for the even ranks.
+		if r.ID()%2 == 0 {
+			r.Compute(des.Duration(r.ID()+1) * des.Second)
+		}
+		comm.Barrier(r)
+		if r.ID()%2 == 0 {
+			evenAt = append(evenAt, r.Now())
+		} else {
+			oddAt = append(oddAt, r.Now())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range oddAt {
+		if at > des.Time(des.Millisecond) {
+			t.Fatalf("odd comm waited for even ranks: released at %v", at)
+		}
+	}
+	for _, at := range evenAt {
+		if at < des.Time(5*des.Second) {
+			t.Fatalf("even comm released at %v before slowest member", at)
+		}
+	}
+}
+
+func TestCommCollectivesAndForeignRankPanics(t *testing.T) {
+	w := newTestWorld(t, 4)
+	if err := w.Run(func(r *Rank) {
+		comm := r.Split(r.ID() / 2) // {0,1} and {2,3}
+		comm.Bcast(r, 0, 1024)
+		comm.Allreduce(r, 8)
+		comm.Gather(r, 0, 4096)
+		if r.ID() == 0 {
+			// Misusing a communicator the rank is not a member of panics;
+			// the recover keeps the run alive so the panic is observable.
+			defer func() {
+				if recover() == nil {
+					t.Error("foreign collective did not panic")
+				}
+			}()
+			foreign := &Comm{w: w, ranks: []int{2, 3}, index: map[int]int{2: 0, 3: 1}}
+			foreign.Barrier(r)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeComm(t *testing.T) {
+	e := des.NewEngine(1)
+	w := NewWorld(e, Config{Size: 8, RanksPerNode: 4})
+	if err := w.Run(func(r *Rank) {
+		comm := r.NodeComm()
+		if comm.Size() != 4 {
+			t.Errorf("node comm size = %d", comm.Size())
+		}
+		if comm.Contains(r.ID()) != true {
+			t.Error("membership")
+		}
+		wantNode := r.ID() / 4
+		for _, other := range []int{0, 4} {
+			if comm.Contains(other) != (other/4 == wantNode) {
+				t.Errorf("rank %d node comm contains %d wrongly", r.ID(), other)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialSplits(t *testing.T) {
+	w := newTestWorld(t, 4)
+	if err := w.Run(func(r *Rank) {
+		first := r.Split(0) // everyone together
+		if first.Size() != 4 {
+			t.Errorf("first split size = %d", first.Size())
+		}
+		second := r.Split(r.ID()) // everyone alone
+		if second.Size() != 1 {
+			t.Errorf("second split size = %d", second.Size())
+		}
+		second.Barrier(r) // self-barrier returns
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"fmt"
+
+	"iobehind/internal/des"
+)
+
+// p2pKey identifies a directed (source, destination, tag) message channel.
+type p2pKey struct {
+	src, dst, tag int
+}
+
+// message is an in-flight point-to-point payload descriptor.
+type message struct {
+	bytes       int64
+	availableAt des.Time
+}
+
+func (w *World) mbox(k p2pKey) *des.Mailbox[message] {
+	mb, ok := w.mailbox[k]
+	if !ok {
+		mb = des.NewMailbox[message](w.e)
+		w.mailbox[k] = mb
+	}
+	return mb
+}
+
+// Send posts bytes to rank dst with the given tag. The eager protocol is
+// modelled: the sender buffers and returns immediately; the payload becomes
+// available to the receiver after the α–β wire cost.
+func (r *Rank) Send(dst, tag int, bytes int64) {
+	if dst < 0 || dst >= r.w.cfg.Size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+	}
+	k := p2pKey{src: r.id, dst: dst, tag: tag}
+	r.w.mbox(k).Put(message{
+		bytes:       bytes,
+		availableAt: r.proc.Now().Add(r.w.cfg.Cost.pointToPoint(bytes)),
+	})
+}
+
+// Recv blocks until a message from rank src with the given tag has fully
+// arrived and returns its size.
+func (r *Rank) Recv(src, tag int) int64 {
+	if src < 0 || src >= r.w.cfg.Size {
+		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
+	}
+	k := p2pKey{src: src, dst: r.id, tag: tag}
+	msg := r.w.mbox(k).Get(r.proc)
+	r.proc.SleepUntil(msg.availableAt)
+	return msg.bytes
+}
+
+// Isend posts bytes to dst without blocking (MPI_Isend). Under the eager
+// model the payload is buffered immediately, so the returned request
+// completes after the local injection cost — the wire time to get the
+// message out of the sender's NIC.
+func (r *Rank) Isend(dst, tag int, bytes int64) Request {
+	g := r.w.StartGrequest()
+	cost := r.w.cfg.Cost.pointToPoint(bytes)
+	r.Send(dst, tag, bytes)
+	r.w.e.After(cost, g.Complete)
+	return g
+}
+
+// Irecv posts a non-blocking receive (MPI_Irecv): the returned request
+// completes once a matching message has fully arrived. The received size
+// is available through the request's CompletedAt pairing with Recv
+// semantics; use RecvSize to read it.
+func (r *Rank) Irecv(src, tag int) *RecvRequest {
+	if src < 0 || src >= r.w.cfg.Size {
+		panic(fmt.Sprintf("mpi: Irecv from invalid rank %d", src))
+	}
+	req := &RecvRequest{g: r.w.StartGrequest()}
+	k := p2pKey{src: src, dst: r.id, tag: tag}
+	mb := r.w.mbox(k)
+	// A progress process performs the matching in the background, like
+	// the MPI progress engine: it blocks on the mailbox so the request
+	// completes as soon as the message lands, even if the application is
+	// busy computing.
+	r.w.e.Spawn(fmt.Sprintf("irecv-%d<-%d", r.id, src), func(p *des.Proc) {
+		msg := mb.Get(p)
+		p.SleepUntil(msg.availableAt)
+		req.bytes = msg.bytes
+		req.g.Complete()
+	})
+	return req
+}
+
+// RecvRequest is the handle of a non-blocking receive.
+type RecvRequest struct {
+	g     *Grequest
+	bytes int64
+}
+
+// Wait blocks the rank until the message has arrived.
+func (q *RecvRequest) Wait(r *Rank) { q.g.Wait(r) }
+
+// Test reports whether the message has arrived.
+func (q *RecvRequest) Test() bool { return q.g.Test() }
+
+// CompletedAt returns the arrival time (zero while pending).
+func (q *RecvRequest) CompletedAt() des.Time { return q.g.CompletedAt() }
+
+// Bytes returns the received size; valid only after completion.
+func (q *RecvRequest) Bytes() int64 { return q.bytes }

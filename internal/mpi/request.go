@@ -1,0 +1,47 @@
+package mpi
+
+import (
+	"iobehind/internal/des"
+)
+
+// Request is the handle of a non-blocking operation, mirroring MPI_Request.
+type Request interface {
+	// Wait blocks the calling rank until the operation completes.
+	Wait(r *Rank)
+	// Test reports whether the operation has completed, without blocking.
+	Test() bool
+	// CompletedAt returns when the operation completed (zero if pending).
+	CompletedAt() des.Time
+}
+
+// Grequest is a generalized request (MPI_Grequest_start /
+// MPI_Grequest_complete): a completion handle for a custom asynchronous
+// operation, here the I/O agent's background transfers.
+type Grequest struct {
+	c *des.Completion
+}
+
+// StartGrequest returns a new, incomplete generalized request.
+func (w *World) StartGrequest() *Grequest {
+	return &Grequest{c: des.NewCompletion(w.e)}
+}
+
+// Complete marks the operation finished and releases waiters. It must be
+// called exactly once, typically by the I/O agent process.
+func (g *Grequest) Complete() { g.c.Complete() }
+
+// Wait blocks rank r until Complete has been called.
+func (g *Grequest) Wait(r *Rank) { g.c.Wait(r.proc) }
+
+// Test reports completion without blocking.
+func (g *Grequest) Test() bool { return g.c.Done() }
+
+// CompletedAt returns the completion time, zero while pending.
+func (g *Grequest) CompletedAt() des.Time { return g.c.At() }
+
+// Waitall blocks until every request in reqs has completed.
+func Waitall(r *Rank, reqs []Request) {
+	for _, req := range reqs {
+		req.Wait(r)
+	}
+}

@@ -1,0 +1,266 @@
+// Package mpiio is the MPI-IO surface the workloads program against:
+// File_write_at / File_read_at and their non-blocking i-variants, backed by
+// the per-rank ADIO I/O agent of internal/adio.
+//
+// The package also provides the interception seam that stands in for the
+// PMPI interface: an Interceptor installed on the System observes every
+// I/O call and every matching wait — exactly the calls TMIO hooks via
+// LD_PRELOAD on a real system — without any change to application code.
+package mpiio
+
+import (
+	"fmt"
+
+	"iobehind/internal/adio"
+	"iobehind/internal/des"
+	"iobehind/internal/mpi"
+	"iobehind/internal/pfs"
+)
+
+// Interceptor observes MPI-IO activity on one world. All methods run on
+// the calling rank's goroutine, so an implementation may charge tracing
+// overhead by sleeping the rank. A nil interceptor means no tracing.
+type Interceptor interface {
+	// AsyncSubmitted fires when a rank issues a non-blocking operation
+	// (MPI_File_iwrite_at / iread_at), right after submission.
+	AsyncSubmitted(r *mpi.Rank, req *Request)
+	// WaitBegin and WaitEnd bracket the matching request-complete call.
+	WaitBegin(r *mpi.Rank, req *Request)
+	WaitEnd(r *mpi.Rank, req *Request)
+	// SyncBegin and SyncEnd bracket a blocking operation
+	// (MPI_File_write_at / read_at).
+	SyncBegin(r *mpi.Rank, f *File, class pfs.Class, bytes int64)
+	SyncEnd(r *mpi.Rank, f *File, class pfs.Class, bytes int64, start, end des.Time)
+}
+
+// System is the MPI-IO subsystem of one world: one I/O agent per rank plus
+// the interception seam.
+type System struct {
+	w           *mpi.World
+	fs          *pfs.PFS
+	agents      []*adio.Agent
+	agentCfg    adio.Config
+	interceptor Interceptor
+	closed      bool
+}
+
+// NewSystem creates the subsystem with one agent per rank. agentCfg.Tag's
+// Rank field is overwritten per rank; its Job field is preserved. Agents
+// are shut down automatically when every rank's main function returns.
+func NewSystem(w *mpi.World, fs *pfs.PFS, agentCfg adio.Config) *System {
+	s := &System{w: w, fs: fs, agentCfg: agentCfg}
+	for _, r := range w.Ranks() {
+		cfg := agentCfg
+		cfg.Tag.Rank = r.ID()
+		cfg.Tag.Node = r.ID() / w.Config().RanksPerNode
+		s.agents = append(s.agents, adio.NewAgent(w.Engine(), fs, r, cfg))
+	}
+	w.Engine().Spawn("mpiio-reaper", func(p *des.Proc) {
+		w.AllDone().Wait(p)
+		s.Close()
+	})
+	return s
+}
+
+// SetInterceptor installs (or removes, with nil) the tracing hook.
+func (s *System) SetInterceptor(i Interceptor) { s.interceptor = i }
+
+// Interceptor returns the installed hook, or nil.
+func (s *System) Interceptor() Interceptor { return s.interceptor }
+
+// World returns the world this subsystem serves.
+func (s *System) World() *mpi.World { return s.w }
+
+// FS returns the backing file system.
+func (s *System) FS() *pfs.PFS { return s.fs }
+
+// Agent returns rank's I/O agent — the handle for the user-level
+// bandwidth-limit control.
+func (s *System) Agent(rank int) *adio.Agent { return s.agents[rank] }
+
+// Close shuts down all agents. Idempotent.
+func (s *System) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, a := range s.agents {
+		a.Close()
+	}
+}
+
+// stallOnStorm models the client-visible cost of posting an I/O request
+// while the servers are swamped: the caller stalls for a delay that grows
+// with the burst concurrency. With throttled traffic the concurrency stays
+// low and the stall is negligible; an unthrottled synchronized burst of
+// thousands of small requests makes every rank pay — the paper's
+// file-system "pollution by unnecessary short accesses".
+func (s *System) stallOnStorm(r *mpi.Rank, class pfs.Class) {
+	if s.agentCfg.SubmitLatencyPerFlow <= 0 && s.agentCfg.QueueLatencyPerFlow <= 0 {
+		return
+	}
+	n := s.fs.NoteOp(class)
+	if lat := adio.StormLatency(s.w.Engine(), s.agentCfg.SubmitLatencyPerFlow, n); lat > 0 {
+		r.Proc().Sleep(lat)
+	}
+}
+
+// Open returns a file handle for rank r. Each rank opening its own path
+// models HACC-IO's individual-file-pointer mode; a shared name works too
+// since the simulated file system tracks bandwidth, not contents.
+func (s *System) Open(r *mpi.Rank, name string) *File {
+	return &File{sys: s, r: r, name: name}
+}
+
+// File is an open MPI file handle bound to one rank.
+type File struct {
+	sys  *System
+	r    *mpi.Rank
+	name string
+}
+
+// Name returns the path given to Open.
+func (f *File) Name() string { return f.name }
+
+// Rank returns the owning rank.
+func (f *File) Rank() *mpi.Rank { return f.r }
+
+// WriteAt performs a blocking write of bytes at offset (MPI_File_write_at).
+// Like all I/O in the modified MPICH, it is executed by the I/O agent and
+// is therefore subject to the agent's bandwidth limit.
+func (f *File) WriteAt(offset, bytes int64) { f.sync(pfs.Write, offset, bytes) }
+
+// ReadAt performs a blocking read of bytes at offset (MPI_File_read_at).
+func (f *File) ReadAt(offset, bytes int64) { f.sync(pfs.Read, offset, bytes) }
+
+func (f *File) sync(class pfs.Class, offset, bytes int64) {
+	_ = offset // the fluid file system model is offset-agnostic
+	if i := f.sys.interceptor; i != nil {
+		i.SyncBegin(f.r, f, class, bytes)
+	}
+	start := f.r.Now()
+	f.sys.stallOnStorm(f.r, class)
+	req := f.sys.agents[f.r.ID()].Submit(class, bytes, false)
+	req.Wait(f.r.Proc())
+	if i := f.sys.interceptor; i != nil {
+		i.SyncEnd(f.r, f, class, bytes, start, f.r.Now())
+	}
+}
+
+// IwriteAt starts a non-blocking write (MPI_File_iwrite_at) and returns
+// its request. The matching Request.Wait completes the operation.
+func (f *File) IwriteAt(offset, bytes int64) *Request {
+	return f.async(pfs.Write, offset, bytes)
+}
+
+// IreadAt starts a non-blocking read (MPI_File_iread_at).
+func (f *File) IreadAt(offset, bytes int64) *Request {
+	return f.async(pfs.Read, offset, bytes)
+}
+
+func (f *File) async(class pfs.Class, offset, bytes int64) *Request {
+	_ = offset
+	f.sys.stallOnStorm(f.r, class)
+	inner := f.sys.agents[f.r.ID()].Submit(class, bytes, true)
+	req := &Request{f: f, r: f.r, inner: inner, class: class, bytes: bytes}
+	if i := f.sys.interceptor; i != nil {
+		i.AsyncSubmitted(f.r, req)
+	}
+	return req
+}
+
+// Request is a non-blocking MPI-IO operation handle.
+type Request struct {
+	f      *File
+	r      *mpi.Rank
+	inner  *adio.Request
+	class  pfs.Class
+	bytes  int64
+	waited bool
+}
+
+// File returns the file the operation targets.
+func (q *Request) File() *File { return q.f }
+
+// Class returns whether the operation is a read or a write.
+func (q *Request) Class() pfs.Class { return q.class }
+
+// Bytes returns the operation size.
+func (q *Request) Bytes() int64 { return q.bytes }
+
+// SubmittedAt returns when the application issued the operation.
+func (q *Request) SubmittedAt() des.Time { return q.inner.Stats.Submitted }
+
+// Wait blocks the owning rank until the operation completes (MPI_Wait).
+// Waiting twice on the same request panics, as MPI would error.
+func (q *Request) Wait() {
+	if q.waited {
+		panic(fmt.Sprintf("mpiio: request on %q waited twice", q.f.name))
+	}
+	q.waited = true
+	if i := q.f.sys.interceptor; i != nil {
+		i.WaitBegin(q.r, q)
+	}
+	q.inner.Wait(q.r.Proc())
+	if i := q.f.sys.interceptor; i != nil {
+		i.WaitEnd(q.r, q)
+	}
+}
+
+// Test reports whether the operation has completed (MPI_Test).
+func (q *Request) Test() bool { return q.inner.Done() }
+
+// Stats exposes the agent-side execution record; valid only after Wait.
+func (q *Request) Stats() *adio.RequestStats { return &q.inner.Stats }
+
+// Waitall waits on every request in order (MPI_Waitall).
+func Waitall(reqs []*Request) {
+	for _, q := range reqs {
+		q.Wait()
+	}
+}
+
+// Info hints: the user-level control surface of the modified MPICH ("we
+// provide means to control the consumed bandwidth at the user-level").
+// Applications — or tools like TMIO — set hints on a file handle the way
+// MPI_Info objects attach to MPI_File_open; the bandwidth hints reach the
+// rank's I/O agent.
+const (
+	// HintBandwidthLimit caps both classes, bytes/s (float64 or int64).
+	HintBandwidthLimit = "io_bandwidth_limit"
+	// HintWriteLimit and HintReadLimit cap one class only.
+	HintWriteLimit = "io_write_bandwidth_limit"
+	HintReadLimit  = "io_read_bandwidth_limit"
+)
+
+// SetHint applies an info hint to the file's rank-level I/O agent. Unknown
+// keys are ignored, as the MPI standard prescribes for info hints. Numeric
+// values may be float64, int64, or int.
+func (f *File) SetHint(key string, value any) {
+	limit, ok := hintNumber(value)
+	if !ok {
+		return
+	}
+	agent := f.sys.agents[f.r.ID()]
+	switch key {
+	case HintBandwidthLimit:
+		agent.SetLimit(limit)
+	case HintWriteLimit:
+		agent.SetClassLimit(pfs.Write, limit)
+	case HintReadLimit:
+		agent.SetClassLimit(pfs.Read, limit)
+	}
+}
+
+func hintNumber(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}

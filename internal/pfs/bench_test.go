@@ -1,0 +1,62 @@
+package pfs
+
+import (
+	"testing"
+
+	"iobehind/internal/des"
+)
+
+// BenchmarkFlowChurn measures sequential flow start/complete cycles on an
+// otherwise idle channel.
+func BenchmarkFlowChurn(b *testing.B) {
+	e := des.NewEngine(1)
+	p := New(e, Config{WriteCapacity: 1e9, ReadCapacity: 1e9})
+	e.Spawn("w", func(proc *des.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Transfer(proc, Write, 1<<20, 1, Unlimited, Tag{})
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkConcurrentFlows measures the allocator under a synchronized
+// burst of many equal flows (the uniform fast path).
+func BenchmarkConcurrentFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := des.NewEngine(1)
+		p := New(e, Config{WriteCapacity: 100e9, ReadCapacity: 100e9})
+		const flows = 4096
+		for j := 0; j < flows; j++ {
+			j := j
+			e.Spawn("w", func(proc *des.Proc) {
+				p.Transfer(proc, Write, 64<<20, 1, Unlimited, Tag{Rank: j})
+			})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupedAllocation measures the two-level injection-cap
+// allocator under the same burst.
+func BenchmarkGroupedAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := des.NewEngine(1)
+		p := New(e, Config{WriteCapacity: 100e9, ReadCapacity: 100e9, InjectionCap: 25e9})
+		const flows = 4096
+		for j := 0; j < flows; j++ {
+			j := j
+			e.Spawn("w", func(proc *des.Proc) {
+				p.Transfer(proc, Write, 64<<20, 1, Unlimited,
+					Tag{Rank: j, Node: j / 96})
+			})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package pfs
+
+import (
+	"fmt"
+
+	"iobehind/internal/des"
+)
+
+// BurstBufferConfig describes a node-local burst buffer tier (NVMe or
+// similar). The paper's future work proposes "a similar definition [of the
+// required bandwidth] for synchronous I/O in the presence of burst
+// buffers": with a buffer in front of the file system, even a synchronous
+// burst completes at buffer speed, and the *drain* to the parallel file
+// system is what needs provisioning — RequiredDrainRate computes it.
+type BurstBufferConfig struct {
+	// Capacity in bytes. A full buffer back-pressures writers.
+	Capacity int64
+	// WriteRate is the absorb bandwidth in bytes/s (the burst speed).
+	WriteRate float64
+	// DrainRate caps the background drain flow to the file system in
+	// bytes/s. This is the buffer's bandwidth footprint on the shared
+	// system — the quantity to keep as low as the workload allows.
+	DrainRate float64
+	// DrainChunk is the drain granularity in bytes. Defaults to 64 MiB.
+	DrainChunk int64
+}
+
+func (c *BurstBufferConfig) applyDefaults() {
+	if c.DrainChunk <= 0 {
+		c.DrainChunk = 64 << 20
+	}
+}
+
+// Validate reports configuration errors.
+func (c BurstBufferConfig) Validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("pfs: burst buffer capacity must be positive")
+	}
+	if c.WriteRate <= 0 || c.DrainRate <= 0 {
+		return fmt.Errorf("pfs: burst buffer rates must be positive")
+	}
+	return nil
+}
+
+// RequiredDrainRate is the burst-buffer analogue of the paper's required
+// bandwidth: the minimal drain rate such that a periodic burst of
+// bytesPerBurst every period never accumulates in the buffer. It is the
+// synchronous application's true demand on the shared file system.
+func RequiredDrainRate(bytesPerBurst int64, period des.Duration) float64 {
+	if period <= 0 {
+		return 0
+	}
+	return float64(bytesPerBurst) / period.Seconds()
+}
+
+// MinCapacity returns the buffer size needed to absorb a burst of
+// bytesPerBurst at writeRate while draining at drainRate: the peak level
+// reached at the end of the burst.
+func MinCapacity(bytesPerBurst int64, writeRate, drainRate float64) int64 {
+	if writeRate <= 0 {
+		return bytesPerBurst
+	}
+	if drainRate >= writeRate {
+		return 0
+	}
+	burstDur := float64(bytesPerBurst) / writeRate
+	peak := float64(bytesPerBurst) - drainRate*burstDur
+	if peak < 0 {
+		peak = 0
+	}
+	return int64(peak + 0.5)
+}
+
+// BurstBuffer is one buffer instance draining into a PFS write channel.
+type BurstBuffer struct {
+	e       *des.Engine
+	fs      *PFS
+	cfg     BurstBufferConfig
+	tag     Tag
+	weight  float64
+	level   int64 // bytes currently buffered (including in-drain chunk)
+	drainer *des.Proc
+	work    *des.Completion // fired when data arrives for an idle drainer
+	space   *des.Completion // fired when the drainer frees room
+	drained int64           // total bytes moved to the PFS
+	closed  bool
+}
+
+// NewBurstBuffer creates a buffer draining to fs with the given fair-share
+// weight and flow tag. The drainer process starts immediately and runs
+// until Close.
+func NewBurstBuffer(e *des.Engine, fs *PFS, cfg BurstBufferConfig, weight float64, tag Tag) *BurstBuffer {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	cfg.applyDefaults()
+	bb := &BurstBuffer{
+		e: e, fs: fs, cfg: cfg, tag: tag, weight: weight,
+		work: des.NewCompletion(e),
+	}
+	bb.drainer = e.Spawn(fmt.Sprintf("bb-drainer-j%dr%d", tag.Job, tag.Rank), bb.drain)
+	return bb
+}
+
+// Level returns the bytes currently buffered.
+func (bb *BurstBuffer) Level() int64 { return bb.level }
+
+// Drained returns the total bytes moved to the file system so far.
+func (bb *BurstBuffer) Drained() int64 { return bb.drained }
+
+// Config returns the buffer configuration (with defaults applied).
+func (bb *BurstBuffer) Config() BurstBufferConfig { return bb.cfg }
+
+// Write absorbs bytes into the buffer at WriteRate, back-pressuring the
+// caller while the buffer is full. It returns when the last byte has been
+// absorbed (not drained).
+func (bb *BurstBuffer) Write(p *des.Proc, bytes int64) {
+	if bb.closed {
+		panic("pfs: write on closed burst buffer")
+	}
+	remaining := bytes
+	for remaining > 0 {
+		room := bb.cfg.Capacity - bb.level
+		for room <= 0 {
+			// Full: wait until the drainer frees space.
+			if bb.space == nil || bb.space.Done() {
+				bb.space = des.NewCompletion(bb.e)
+			}
+			bb.space.Wait(p)
+			room = bb.cfg.Capacity - bb.level
+		}
+		chunk := remaining
+		if chunk > room {
+			chunk = room
+		}
+		p.Sleep(des.DurationOf(float64(chunk) / bb.cfg.WriteRate))
+		bb.level += chunk
+		remaining -= chunk
+		bb.kickDrainer()
+	}
+}
+
+// kickDrainer wakes an idle drainer.
+func (bb *BurstBuffer) kickDrainer() {
+	if !bb.work.Done() {
+		bb.work.Complete()
+	}
+}
+
+// drain is the background drainer: it moves buffered bytes to the file
+// system in chunks, capped at DrainRate, and wakes blocked writers as
+// space frees up.
+func (bb *BurstBuffer) drain(p *des.Proc) {
+	for {
+		for bb.level == 0 {
+			if bb.closed {
+				return
+			}
+			bb.work = des.NewCompletion(bb.e)
+			bb.work.Wait(p)
+		}
+		chunk := bb.cfg.DrainChunk
+		if chunk > bb.level {
+			chunk = bb.level
+		}
+		bb.fs.Transfer(p, Write, chunk, bb.weight, bb.cfg.DrainRate, bb.tag)
+		bb.level -= chunk
+		bb.drained += chunk
+		// Space freed: release blocked writers (they re-check room).
+		if bb.space != nil && !bb.space.Done() {
+			bb.space.Complete()
+		}
+	}
+}
+
+// Close stops the drainer once the buffer is empty. Pending data continues
+// to drain first.
+func (bb *BurstBuffer) Close() {
+	if bb.closed {
+		return
+	}
+	bb.closed = true
+	bb.kickDrainer()
+}

@@ -1,0 +1,173 @@
+package pfs
+
+import (
+	"math"
+	"testing"
+
+	"iobehind/internal/des"
+)
+
+func bbSetup(cfg BurstBufferConfig) (*des.Engine, *PFS, *BurstBuffer) {
+	e := des.NewEngine(1)
+	fs := New(e, Config{WriteCapacity: 1e9, ReadCapacity: 1e9})
+	bb := NewBurstBuffer(e, fs, cfg, 1, Tag{})
+	return e, fs, bb
+}
+
+func TestBurstBufferAbsorbsAtWriteRate(t *testing.T) {
+	e, _, bb := bbSetup(BurstBufferConfig{
+		Capacity: 1 << 30, WriteRate: 1e9, DrainRate: 100e6,
+	})
+	var absorbed des.Time
+	e.Spawn("app", func(p *des.Proc) {
+		bb.Write(p, 500e6) // 0.5 s at 1 GB/s
+		absorbed = p.Now()
+		bb.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := absorbed.Seconds(); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("absorbed in %v, want 0.5s", got)
+	}
+	// The drain continues after the writer finished, capped at DrainRate:
+	// 500 MB at 100 MB/s ≈ 5 s.
+	if bb.Drained() != 500e6 {
+		t.Fatalf("drained = %d", bb.Drained())
+	}
+	if got := e.Now().Seconds(); got < 5 || got > 5.6 {
+		t.Fatalf("drain finished at %v, want ≈5s", got)
+	}
+	if bb.Level() != 0 {
+		t.Fatalf("level = %d after close", bb.Level())
+	}
+}
+
+func TestBurstBufferBackpressure(t *testing.T) {
+	e, _, bb := bbSetup(BurstBufferConfig{
+		Capacity: 100e6, WriteRate: 1e9, DrainRate: 50e6, DrainChunk: 10e6,
+	})
+	var wrote des.Time
+	e.Spawn("app", func(p *des.Proc) {
+		bb.Write(p, 300e6) // 3× the capacity: must wait for the drain
+		wrote = p.Now()
+		bb.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 200 MB must drain (at 50 MB/s = 4 s) before the last byte fits.
+	if got := wrote.Seconds(); got < 3.9 {
+		t.Fatalf("write returned at %v, backpressure missing", got)
+	}
+	if bb.Drained() != 300e6 {
+		t.Fatalf("drained = %d", bb.Drained())
+	}
+}
+
+func TestBurstBufferDrainRateCapped(t *testing.T) {
+	e, fs, bb := bbSetup(BurstBufferConfig{
+		Capacity: 1 << 30, WriteRate: 10e9, DrainRate: 100e6,
+	})
+	var peak float64
+	fs.SetObserver(func(now des.Time, class Class, flows []*Flow) {
+		for _, f := range flows {
+			if f.Rate() > peak {
+				peak = f.Rate()
+			}
+		}
+	})
+	e.Spawn("app", func(p *des.Proc) {
+		bb.Write(p, 200e6)
+		bb.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 100e6*1.001 {
+		t.Fatalf("drain peaked at %v, cap is 100e6", peak)
+	}
+}
+
+func TestBurstBufferValidation(t *testing.T) {
+	if err := (BurstBufferConfig{Capacity: 0, WriteRate: 1, DrainRate: 1}).Validate(); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if err := (BurstBufferConfig{Capacity: 1, WriteRate: 0, DrainRate: 1}).Validate(); err == nil {
+		t.Fatal("zero write rate accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBurstBuffer with bad config did not panic")
+		}
+	}()
+	bbSetup(BurstBufferConfig{})
+}
+
+func TestRequiredDrainRate(t *testing.T) {
+	// 10 GB burst every 100 s: 100 MB/s keeps the buffer level bounded.
+	if got := RequiredDrainRate(10e9, 100*des.Second); math.Abs(got-100e6) > 1 {
+		t.Fatalf("rate = %v", got)
+	}
+	if RequiredDrainRate(1, 0) != 0 {
+		t.Fatal("zero period")
+	}
+}
+
+func TestMinCapacity(t *testing.T) {
+	// Burst of 1 GB at 10 GB/s (0.1 s) draining at 1 GB/s: peak level is
+	// 1 GB − 0.1 GB = 0.9 GB.
+	if got := MinCapacity(1e9, 10e9, 1e9); math.Abs(float64(got)-0.9e9) > 1e6 {
+		t.Fatalf("capacity = %d", got)
+	}
+	if MinCapacity(1e9, 1e9, 2e9) != 0 {
+		t.Fatal("drain faster than write needs no capacity")
+	}
+	if MinCapacity(1e9, 0, 1) != 1e9 {
+		t.Fatal("degenerate write rate")
+	}
+}
+
+// TestBurstBufferSteadyStatePeriodic: a periodic burst pattern with
+// DrainRate = RequiredDrainRate × 1.1 never overflows a MinCapacity-sized
+// buffer, so the writer never blocks — the paper's future-work claim.
+func TestBurstBufferSteadyStatePeriodic(t *testing.T) {
+	period := des.Duration(10 * des.Second)
+	burst := int64(500e6)
+	writeRate := 5e9
+	drainRate := RequiredDrainRate(burst, period) * 1.1
+	// The chunked drainer frees space one chunk at a time, so the buffer
+	// needs one chunk of slack on top of the fluid-model minimum.
+	chunk := int64(16e6)
+	capacity := MinCapacity(burst, writeRate, drainRate) + chunk
+
+	e := des.NewEngine(1)
+	fs := New(e, Config{WriteCapacity: 10e9, ReadCapacity: 10e9})
+	bb := NewBurstBuffer(e, fs, BurstBufferConfig{
+		Capacity: capacity, WriteRate: writeRate, DrainRate: drainRate,
+		DrainChunk: chunk,
+	}, 1, Tag{})
+	absorbTimes := make([]float64, 0, 8)
+	e.Spawn("app", func(p *des.Proc) {
+		for i := 0; i < 8; i++ {
+			start := p.Now()
+			bb.Write(p, burst)
+			absorbTimes = append(absorbTimes, p.Now().Sub(start).Seconds())
+			p.SleepUntil(des.Time(int64(period) * int64(i+1)))
+		}
+		bb.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(burst) / writeRate
+	for i, got := range absorbTimes {
+		if got > want*1.05 {
+			t.Fatalf("burst %d took %v, want %v (writer blocked: drain underprovisioned)",
+				i, got, want)
+		}
+	}
+	if bb.Drained() != 8*burst {
+		t.Fatalf("drained = %d", bb.Drained())
+	}
+}

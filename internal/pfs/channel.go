@@ -1,0 +1,368 @@
+package pfs
+
+import (
+	"math"
+	"sort"
+
+	"iobehind/internal/des"
+)
+
+// channel is one direction (read or write) of the file system: a capacity
+// shared by flows under weighted max–min fairness with per-flow caps.
+//
+// The fluid model is advanced lazily: whenever the flow set, a cap, or the
+// capacity changes, progress since the previous change is integrated at the
+// old rates, rates are recomputed by water-filling, and a single event is
+// scheduled at the earliest projected flow completion. Keeping one pending
+// event (instead of one per flow) bounds the cost of a change to O(flows).
+type channel struct {
+	e            *des.Engine
+	name         string
+	base         float64 // configured peak capacity, bytes/s
+	capacity     float64 // current effective capacity (noise applied)
+	flows        []*Flow
+	last         des.Time // time progress was last integrated
+	cancel       func()   // pending completion event, if any
+	dirty        bool     // a recompute event is queued
+	observer     func(now des.Time, flows []*Flow)
+	noise        *NoiseConfig
+	noiseOn      bool
+	injectionCap float64 // per-node NIC cap, 0 = disabled
+
+	// recent tracks operation submissions inside the storm window for the
+	// burst-storm latency model; head indexes the oldest live entry.
+	recent []des.Time
+	head   int
+}
+
+// stormWindow is how long a submitted operation counts toward the burst
+// concurrency estimate.
+const stormWindow = des.Second
+
+// noteOp records an operation submission and returns the number of
+// operations (including this one) seen within the storm window.
+func (c *channel) noteOp() int {
+	c.pruneRecent()
+	c.recent = append(c.recent, c.e.Now())
+	return len(c.recent) - c.head
+}
+
+// recentOps returns the number of operations submitted within the storm
+// window.
+func (c *channel) recentOps() int {
+	c.pruneRecent()
+	return len(c.recent) - c.head
+}
+
+func (c *channel) pruneRecent() {
+	cutoff := c.e.Now().Add(-stormWindow)
+	for c.head < len(c.recent) && c.recent[c.head] <= cutoff {
+		c.head++
+	}
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if c.head > 1024 && c.head > len(c.recent)/2 {
+		c.recent = append(c.recent[:0], c.recent[c.head:]...)
+		c.head = 0
+	}
+}
+
+func newChannel(e *des.Engine, name string, capacity float64) *channel {
+	return &channel{e: e, name: name, base: capacity, capacity: capacity}
+}
+
+// Flow is one in-flight transfer on a channel.
+type Flow struct {
+	ch        *channel
+	tag       Tag
+	total     float64
+	remaining float64
+	weight    float64
+	cap       float64
+	rate      float64
+	finishAt  des.Time // projected completion under current rates
+	started   des.Time
+	finished  des.Time
+	done      *des.Completion
+}
+
+// Tag returns the identity the flow was started with.
+func (f *Flow) Tag() Tag { return f.tag }
+
+// Rate returns the flow's current allocated bandwidth in bytes/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Started returns when the flow began.
+func (f *Flow) Started() des.Time { return f.started }
+
+// Finished returns when the last byte moved; zero while in flight.
+func (f *Flow) Finished() des.Time { return f.finished }
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done.Done() }
+
+// Wait parks proc until the flow completes.
+func (f *Flow) Wait(proc *des.Proc) { f.done.Wait(proc) }
+
+// SetCap changes the flow's bandwidth cap while in flight. It is a no-op
+// on completed flows.
+func (f *Flow) SetCap(cap float64) {
+	if f.done.Done() || f.cap == cap {
+		return
+	}
+	f.ch.integrate()
+	f.cap = cap
+	f.ch.markDirty()
+}
+
+func (c *channel) start(bytes, weight, cap float64, tag Tag) *Flow {
+	f := &Flow{
+		ch:        c,
+		tag:       tag,
+		total:     bytes,
+		remaining: bytes,
+		weight:    weight,
+		cap:       cap,
+		started:   c.e.Now(),
+		done:      des.NewCompletion(c.e),
+	}
+	if bytes <= 0 {
+		f.finished = c.e.Now()
+		f.done.Complete()
+		return f
+	}
+	c.integrate()
+	c.flows = append(c.flows, f)
+	c.markDirty()
+	c.maybeStartNoise()
+	return f
+}
+
+// setCapacity changes the effective channel capacity (noise injection).
+func (c *channel) setCapacity(capacity float64) {
+	if capacity <= 0 {
+		capacity = 1 // never fully stall the file system
+	}
+	if capacity == c.capacity {
+		return
+	}
+	c.integrate()
+	c.capacity = capacity
+	c.markDirty()
+}
+
+// integrate advances every flow's remaining bytes to the current instant at
+// the rates assigned by the previous recompute.
+func (c *channel) integrate() {
+	now := c.e.Now()
+	dt := now.Sub(c.last).Seconds()
+	c.last = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range c.flows {
+		if f.finishAt != 0 && f.finishAt <= now {
+			f.remaining = 0
+		} else {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+}
+
+// markDirty schedules a single recompute at the current instant, after all
+// same-instant process activity, so bursts of flow starts are batched.
+func (c *channel) markDirty() {
+	if c.dirty {
+		return
+	}
+	c.dirty = true
+	c.e.Schedule(c.e.Now(), des.PrioLate+1, func() {
+		c.dirty = false
+		c.recompute()
+	})
+}
+
+// recompute integrates progress, completes finished flows, water-fills the
+// rates of the survivors, and schedules the next completion event.
+func (c *channel) recompute() {
+	c.integrate()
+	now := c.e.Now()
+
+	// Complete drained flows (swap-delete keeps this O(flows)).
+	for i := 0; i < len(c.flows); {
+		f := c.flows[i]
+		if f.remaining <= 0 {
+			f.finished = now
+			f.rate = 0
+			f.finishAt = 0
+			last := len(c.flows) - 1
+			c.flows[i] = c.flows[last]
+			c.flows[last] = nil
+			c.flows = c.flows[:last]
+			f.done.Complete()
+			continue
+		}
+		i++
+	}
+
+	c.waterfill()
+
+	// Schedule the earliest projected completion.
+	if c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+	next := des.Time(math.MaxInt64)
+	for _, f := range c.flows {
+		if f.finishAt != 0 && f.finishAt < next {
+			next = f.finishAt
+		}
+	}
+	if next != des.Time(math.MaxInt64) {
+		c.cancel = c.e.Schedule(next, des.PrioEarly, c.recompute)
+	}
+	if c.observer != nil {
+		c.observer(now, c.flows)
+	}
+}
+
+// waterfill assigns weighted max–min fair rates honouring per-flow caps
+// (and, when configured, per-node injection caps), then recomputes each
+// flow's projected finish time.
+func (c *channel) waterfill() {
+	n := len(c.flows)
+	if n == 0 {
+		return
+	}
+	if c.injectionCap > 0 {
+		c.allocateGrouped()
+	} else {
+		allocate(c.capacity, c.flows)
+	}
+	now := c.e.Now()
+	for _, f := range c.flows {
+		f.finishAt = projectFinish(now, f.remaining, f.rate)
+	}
+}
+
+// allocate assigns weighted max–min fair rates to flows under capacity,
+// honouring per-flow caps. It only sets f.rate.
+func allocate(capacity float64, flows []*Flow) {
+	n := len(flows)
+	if n == 0 {
+		return
+	}
+
+	// Fast path: total demand fits; everyone gets its cap.
+	total := 0.0
+	capped := true
+	for _, f := range flows {
+		if math.IsInf(f.cap, 1) {
+			capped = false
+			break
+		}
+		total += f.cap
+	}
+	if capped && total <= capacity {
+		for _, f := range flows {
+			f.rate = f.cap
+		}
+		return
+	}
+
+	// Fast path: no caps and uniform weights (the common case of a
+	// synchronized burst) — everyone gets an equal share, no sort needed.
+	uniform := true
+	for _, f := range flows {
+		if !math.IsInf(f.cap, 1) || f.weight != flows[0].weight {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		rate := capacity / float64(n)
+		for _, f := range flows {
+			f.rate = rate
+		}
+		return
+	}
+
+	// Water-filling: visit flows by ascending cap/weight. A flow whose cap
+	// is below its proportional share keeps the cap and donates the rest.
+	order := make([]*Flow, n)
+	copy(order, flows)
+	sort.Slice(order, func(i, j int) bool {
+		return order[i].cap/order[i].weight < order[j].cap/order[j].weight
+	})
+	remaining := capacity
+	weight := 0.0
+	for _, f := range order {
+		weight += f.weight
+	}
+	for _, f := range order {
+		fair := remaining * f.weight / weight
+		rate := fair
+		if f.cap < fair {
+			rate = f.cap
+		}
+		f.rate = rate
+		remaining -= rate
+		weight -= f.weight
+	}
+}
+
+// nodeKey groups flows sharing one node's NIC.
+type nodeKey struct {
+	job, node int
+}
+
+// allocateGrouped performs the two-level hierarchical allocation: the
+// channel capacity is divided across node groups by weighted max–min with
+// each group capped at the injection bandwidth, then each group's rate is
+// divided across its member flows.
+func (c *channel) allocateGrouped() {
+	groups := make(map[nodeKey][]*Flow)
+	for _, f := range c.flows {
+		k := nodeKey{job: f.tag.Job, node: f.tag.Node}
+		groups[k] = append(groups[k], f)
+	}
+	// Build one super-flow per group. Its cap is the injection bandwidth,
+	// tightened further when every member is individually capped below it.
+	supers := make([]*Flow, 0, len(groups))
+	members := make([][]*Flow, 0, len(groups))
+	for _, flows := range groups {
+		weight, caps := 0.0, 0.0
+		uncapped := false
+		for _, f := range flows {
+			weight += f.weight
+			if math.IsInf(f.cap, 1) {
+				uncapped = true
+			} else {
+				caps += f.cap
+			}
+		}
+		gcap := c.injectionCap
+		if !uncapped && caps < gcap {
+			gcap = caps
+		}
+		supers = append(supers, &Flow{weight: weight, cap: gcap})
+		members = append(members, flows)
+	}
+	allocate(c.capacity, supers)
+	for i, flows := range members {
+		allocate(supers[i].rate, flows)
+	}
+}
+
+// projectFinish returns the absolute completion time of a flow, rounding up
+// a nanosecond so the completion event never fires before the fluid model
+// says the flow is done. Zero-rate flows never finish on their own.
+func projectFinish(now des.Time, remaining, rate float64) des.Time {
+	if rate <= 0 {
+		return 0
+	}
+	d := des.DurationOf(remaining/rate) + 1
+	return now.Add(d)
+}

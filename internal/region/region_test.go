@@ -1,0 +1,137 @@
+package region
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iobehind/internal/des"
+)
+
+// TestPaperFigure4 reproduces the worked example of the paper's Fig. 4:
+// three ranks with overlapping phases produce five regions whose values
+// are the running sums of the covering bandwidths.
+func TestPaperFigure4(t *testing.T) {
+	// Layout (times in seconds):
+	//   rank 1: [1, 6)  value B1
+	//   rank 2: [2, 8)  value B2
+	//   rank 0: [3, 10) value B0
+	// Regions: [1,2)=B1, [2,3)=B1+B2, [3,6)=B1+B2+B0, [6,8)=B2+B0, [8,10)=B0.
+	const b0, b1, b2 = 5.0, 3.0, 2.0
+	sec := func(x float64) des.Time { return des.Time(des.DurationOf(x)) }
+	phases := []Phase{
+		{Rank: 1, Start: sec(1), End: sec(6), Value: b1},
+		{Rank: 2, Start: sec(2), End: sec(8), Value: b2},
+		{Rank: 0, Start: sec(3), End: sec(10), Value: b0},
+	}
+	s := Sweep("B", phases)
+	checks := []struct {
+		at   float64
+		want float64
+	}{
+		{0.5, 0}, {1.5, b1}, {2.5, b1 + b2}, {4, b1 + b2 + b0},
+		{7, b2 + b0}, {9, b0}, {10.5, 0},
+	}
+	for _, c := range checks {
+		if got := s.At(sec(c.at)); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("B(%vs) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	// Five regions plus the trailing zero = 6 points.
+	if len(s.Points) != 6 {
+		t.Fatalf("points = %d, want 6: %v", len(s.Points), s.Points)
+	}
+	if got := MaxRequired(phases); math.Abs(got-(b0+b1+b2)) > 1e-9 {
+		t.Fatalf("MaxRequired = %v, want %v", got, b0+b1+b2)
+	}
+}
+
+func TestSweepIgnoresDegeneratePhases(t *testing.T) {
+	s := Sweep("B", []Phase{
+		{Start: 10, End: 10, Value: 1},
+		{Start: 20, End: 5, Value: 1},
+	})
+	if len(s.Points) != 0 {
+		t.Fatalf("degenerate phases produced points: %v", s.Points)
+	}
+	if s.Max() != 0 {
+		t.Fatal("max of empty sweep")
+	}
+}
+
+func TestSweepCoincidentBoundaries(t *testing.T) {
+	// One phase ends exactly where another starts: no double counting at
+	// the boundary (half-open intervals).
+	s := Sweep("B", []Phase{
+		{Start: 0, End: 100, Value: 4},
+		{Start: 100, End: 200, Value: 6},
+	})
+	if got := s.At(99); got != 4 {
+		t.Fatalf("At(99) = %v", got)
+	}
+	if got := s.At(100); got != 6 {
+		t.Fatalf("At(100) = %v, want 6 (no double count)", got)
+	}
+	if got := s.At(200); got != 0 {
+		t.Fatalf("At(200) = %v, want 0", got)
+	}
+}
+
+func TestPhaseDuration(t *testing.T) {
+	p := Phase{Start: des.Time(des.Second), End: des.Time(3 * des.Second)}
+	if p.Duration() != 2*des.Second {
+		t.Fatalf("duration = %v", p.Duration())
+	}
+}
+
+// TestSweepMatchesBruteForce compares the sweep against a direct
+// evaluation of Eq. 3 at random probe times, on random phase sets.
+func TestSweepMatchesBruteForce(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var phases []Phase
+		for i := 0; i+2 < len(raw) && len(phases) < 30; i += 3 {
+			start := des.Time(raw[i] % 1000)
+			length := des.Time(raw[i+1]%200) + 1
+			val := float64(raw[i+2]%50) + 0.5
+			phases = append(phases, Phase{
+				Rank:  i / 3,
+				Start: start,
+				End:   start + length,
+				Value: val,
+			})
+		}
+		s := Sweep("B", phases)
+		for probe := 0; probe < 50; probe++ {
+			at := des.Time(rng.Int63n(1400))
+			want := 0.0
+			for _, ph := range phases {
+				if at >= ph.Start && at < ph.End {
+					want += ph.Value
+				}
+			}
+			if math.Abs(s.At(at)-want) > 1e-6 {
+				return false
+			}
+		}
+		// The max of the series equals the max over all boundaries.
+		maxWant := 0.0
+		for _, ph := range phases {
+			sum := 0.0
+			for _, other := range phases {
+				if ph.Start >= other.Start && ph.Start < other.End {
+					sum += other.Value
+				}
+			}
+			if sum > maxWant {
+				maxWant = sum
+			}
+		}
+		return math.Abs(s.Max()-maxWant) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package sched implements the cluster-level I/O bandwidth arbiter the
+// paper motivates: "This metric [the required bandwidth] can be considered
+// by the I/O scheduler to dynamically schedule I/O accesses to reduce the
+// contention."
+//
+// The arbiter tracks the applications sharing a file system, their
+// measured required bandwidths (from TMIO), and their current I/O
+// activity. Under its policy it decides which asynchronous applications to
+// cap at their requirement — freeing the difference between their burst
+// share and their need for the synchronous applications whose runtime
+// depends directly on I/O speed. The arbiter is pure decision logic: it
+// applies caps through per-application callbacks, so it works against the
+// simulation (internal/cluster uses it) or any other enforcement point.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"iobehind/internal/des"
+	"iobehind/internal/pfs"
+)
+
+// Policy selects when asynchronous applications are capped.
+type Policy int
+
+const (
+	// FairShare never caps: bandwidth splits by the file system's
+	// weighted fairness alone.
+	FairShare Policy = iota
+	// CapDuringContention caps an asynchronous application only while at
+	// least one other application is doing I/O (the paper's Fig. 1
+	// setting).
+	CapDuringContention
+	// CapAlways keeps asynchronous applications capped whenever running.
+	CapAlways
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FairShare:
+		return "fair-share"
+	case CapDuringContention:
+		return "cap-during-contention"
+	case CapAlways:
+		return "cap-always"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// App describes one application under the arbiter's control.
+type App struct {
+	// ID is the caller's identifier for the application.
+	ID int
+	// Async marks applications whose I/O can be throttled without
+	// affecting their runtime.
+	Async bool
+	// Weight is the application's fair-share weight (e.g. node count).
+	Weight float64
+	// Apply installs a bandwidth cap in bytes/s on the application's
+	// ranks; pfs.Unlimited removes it. Must not be nil for Async apps.
+	Apply func(cap float64)
+}
+
+// appState is the arbiter's view of one application.
+type appState struct {
+	App
+	required    float64 // latest TMIO measurement; 0 = unknown
+	fallback    float64 // configured estimate used before any measurement
+	active      bool    // currently has I/O in flight
+	running     bool
+	capped      bool
+	forecast    Forecast
+	hasForecast bool
+}
+
+// Arbiter decides and applies caps. It is not goroutine-safe; in the
+// simulation everything runs on the engine's single logical thread.
+type Arbiter struct {
+	policy  Policy
+	tol     float64
+	apps    map[int]*appState
+	order   []int // deterministic iteration
+	toggles int
+}
+
+// New creates an arbiter. tol scales applied caps (like the strategies'
+// tolerance); values <= 0 default to 1.1.
+func New(policy Policy, tol float64) *Arbiter {
+	if tol <= 0 {
+		tol = 1.1
+	}
+	return &Arbiter{policy: policy, tol: tol, apps: make(map[int]*appState)}
+}
+
+// Policy returns the arbiter's policy.
+func (a *Arbiter) Policy() Policy { return a.policy }
+
+// Toggles returns how many times a cap has been switched on.
+func (a *Arbiter) Toggles() int { return a.toggles }
+
+// Register adds an application; it starts in the running state. Duplicate
+// registration panics.
+func (a *Arbiter) Register(app App, fallbackRequired float64) {
+	if _, ok := a.apps[app.ID]; ok {
+		panic(fmt.Sprintf("sched: app %d registered twice", app.ID))
+	}
+	if app.Async && app.Apply == nil {
+		panic(fmt.Sprintf("sched: async app %d without Apply", app.ID))
+	}
+	a.apps[app.ID] = &appState{App: app, fallback: fallbackRequired, running: true}
+	a.order = append(a.order, app.ID)
+	sort.Ints(a.order)
+}
+
+// Unregister removes an application (job completion).
+func (a *Arbiter) Unregister(id int) {
+	st, ok := a.apps[id]
+	if !ok {
+		return
+	}
+	if st.capped && st.Apply != nil {
+		st.Apply(pfs.Unlimited)
+	}
+	delete(a.apps, id)
+	for i, v := range a.order {
+		if v == id {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// SetRequired updates an application's measured required bandwidth.
+func (a *Arbiter) SetRequired(id int, b float64) {
+	if st, ok := a.apps[id]; ok && b > 0 {
+		st.required = b
+	}
+}
+
+// SetActive marks whether the application currently has I/O in flight.
+func (a *Arbiter) SetActive(id int, active bool) {
+	if st, ok := a.apps[id]; ok {
+		st.active = active
+	}
+}
+
+// Capped reports whether the application is currently capped.
+func (a *Arbiter) Capped(id int) bool {
+	st, ok := a.apps[id]
+	return ok && st.capped
+}
+
+// requirement returns the cap value for an app: the measurement when
+// available, the registration fallback otherwise.
+func (st *appState) requirement() float64 {
+	if st.required > 0 {
+		return st.required
+	}
+	return st.fallback
+}
+
+// Reallocate applies the policy: for every asynchronous application it
+// decides capped/uncapped and invokes Apply on transitions. Call it
+// whenever activity or requirements changed (the cluster monitor polls).
+func (a *Arbiter) Reallocate() {
+	if a.policy == FairShare {
+		return
+	}
+	for _, id := range a.order {
+		st := a.apps[id]
+		if !st.Async || !st.running {
+			continue
+		}
+		want := a.policy == CapAlways
+		if a.policy == CapDuringContention {
+			want = a.othersActive(id)
+		}
+		if want == st.capped {
+			continue
+		}
+		st.capped = want
+		if want {
+			a.toggles++
+			st.Apply(st.requirement() * a.tol)
+		} else {
+			st.Apply(pfs.Unlimited)
+		}
+	}
+}
+
+// othersActive reports whether any other application has I/O in flight.
+func (a *Arbiter) othersActive(id int) bool {
+	for _, other := range a.order {
+		if other != id && a.apps[other].active {
+			return true
+		}
+	}
+	return false
+}
+
+// SparedBandwidth estimates how much bandwidth capping currently returns
+// to the pool: for each capped application, its weighted fair share of
+// capacity minus its applied cap (never negative).
+func (a *Arbiter) SparedBandwidth(capacity float64) float64 {
+	var totalWeight float64
+	for _, id := range a.order {
+		if a.apps[id].running {
+			totalWeight += a.apps[id].Weight
+		}
+	}
+	if totalWeight <= 0 {
+		return 0
+	}
+	var spared float64
+	for _, id := range a.order {
+		st := a.apps[id]
+		if !st.capped {
+			continue
+		}
+		share := capacity * st.Weight / totalWeight
+		cap := st.requirement() * a.tol
+		if share > cap {
+			spared += share - cap
+		}
+	}
+	return spared
+}
+
+// Forecast describes an application's periodic burst pattern, as detected
+// by FTIO (internal/ftio): bursts of BurstLen recur every Period; the last
+// one started at LastBurst.
+type Forecast struct {
+	Period    des.Duration
+	BurstLen  des.Duration
+	LastBurst des.Time
+}
+
+// windowContains reports whether a burst is (or will be) in progress
+// within [now, now+lookahead).
+func (f Forecast) windowContains(now des.Time, lookahead des.Duration) bool {
+	if f.Period <= 0 {
+		return false
+	}
+	// Walk bursts from LastBurst forward until one ends after now.
+	start := f.LastBurst
+	for start.Add(f.BurstLen) <= now {
+		start = start.Add(f.Period)
+	}
+	return start < now.Add(lookahead)
+}
+
+// SetForecast attaches a burst forecast to a (synchronous) application.
+func (a *Arbiter) SetForecast(id int, f Forecast) {
+	if st, ok := a.apps[id]; ok {
+		st.forecast = f
+		st.hasForecast = true
+	}
+}
+
+// ReallocatePredictive is the forward-looking variant of Reallocate for
+// the CapPredictive policy: an asynchronous application is capped while
+// any other application's forecast predicts a burst within lookahead —
+// the cap is in place *before* the burst arrives, so the synchronous job
+// never shares its burst window with an unthrottled competitor. Between
+// predicted bursts the async application runs unrestricted.
+func (a *Arbiter) ReallocatePredictive(now des.Time, lookahead des.Duration) {
+	for _, id := range a.order {
+		st := a.apps[id]
+		if !st.Async || !st.running {
+			continue
+		}
+		want := false
+		for _, other := range a.order {
+			if other == id {
+				continue
+			}
+			o := a.apps[other]
+			if o.hasForecast && o.forecast.windowContains(now, lookahead) {
+				want = true
+				break
+			}
+			if o.active {
+				want = true // fall back to reactive capping
+				break
+			}
+		}
+		if want == st.capped {
+			continue
+		}
+		st.capped = want
+		if want {
+			a.toggles++
+			st.Apply(st.requirement() * a.tol)
+		} else {
+			st.Apply(pfs.Unlimited)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"iobehind/internal/des"
+)
+
+// capRecorder records Apply calls for one app.
+type capRecorder struct {
+	caps []float64
+}
+
+func (c *capRecorder) apply(v float64) { c.caps = append(c.caps, v) }
+
+func (c *capRecorder) last() float64 {
+	if len(c.caps) == 0 {
+		return math.NaN()
+	}
+	return c.caps[len(c.caps)-1]
+}
+
+func TestPolicyNames(t *testing.T) {
+	if FairShare.String() != "fair-share" ||
+		CapDuringContention.String() != "cap-during-contention" ||
+		CapAlways.String() != "cap-always" {
+		t.Fatal("policy names")
+	}
+	if Policy(9).String() != "policy(9)" {
+		t.Fatal("unknown policy name")
+	}
+}
+
+func TestFairShareNeverCaps(t *testing.T) {
+	a := New(FairShare, 1.1)
+	rec := &capRecorder{}
+	a.Register(App{ID: 1, Async: true, Weight: 4, Apply: rec.apply}, 100)
+	a.Register(App{ID: 2, Weight: 4}, 0)
+	a.SetActive(2, true)
+	a.Reallocate()
+	if len(rec.caps) != 0 || a.Toggles() != 0 {
+		t.Fatalf("fair-share capped: %v", rec.caps)
+	}
+}
+
+func TestCapDuringContentionToggles(t *testing.T) {
+	a := New(CapDuringContention, 1.5)
+	rec := &capRecorder{}
+	a.Register(App{ID: 1, Async: true, Weight: 4, Apply: rec.apply}, 100)
+	a.Register(App{ID: 2, Weight: 4}, 0)
+
+	// No one else active: uncapped.
+	a.Reallocate()
+	if a.Capped(1) {
+		t.Fatal("capped without contention")
+	}
+	// The sync app becomes active: cap at fallback × tol.
+	a.SetActive(2, true)
+	a.Reallocate()
+	if !a.Capped(1) || rec.last() != 150 {
+		t.Fatalf("cap = %v, want 150", rec.last())
+	}
+	// A TMIO measurement arrives; on the next contention cycle the cap
+	// follows the measurement.
+	a.SetRequired(1, 200)
+	a.SetActive(2, false)
+	a.Reallocate()
+	if a.Capped(1) || !math.IsInf(rec.last(), 1) {
+		t.Fatalf("uncap missing: %v", rec.caps)
+	}
+	a.SetActive(2, true)
+	a.Reallocate()
+	if rec.last() != 300 {
+		t.Fatalf("cap = %v, want 300 (measured 200 × 1.5)", rec.last())
+	}
+	if a.Toggles() != 2 {
+		t.Fatalf("toggles = %d", a.Toggles())
+	}
+}
+
+func TestCapAlways(t *testing.T) {
+	a := New(CapAlways, 0) // tol defaults to 1.1
+	rec := &capRecorder{}
+	a.Register(App{ID: 1, Async: true, Weight: 1, Apply: rec.apply}, 100)
+	a.Reallocate()
+	if !a.Capped(1) || math.Abs(rec.last()-110) > 1e-9 {
+		t.Fatalf("cap = %v, want 110", rec.last())
+	}
+	// Idempotent: no further Apply calls without state change.
+	a.Reallocate()
+	if len(rec.caps) != 1 {
+		t.Fatalf("reapplied without change: %v", rec.caps)
+	}
+}
+
+func TestUnregisterUncaps(t *testing.T) {
+	a := New(CapAlways, 1)
+	rec := &capRecorder{}
+	a.Register(App{ID: 1, Async: true, Weight: 1, Apply: rec.apply}, 50)
+	a.Reallocate()
+	a.Unregister(1)
+	if !math.IsInf(rec.last(), 1) {
+		t.Fatalf("unregister did not uncap: %v", rec.caps)
+	}
+	a.Unregister(1) // idempotent
+	a.Reallocate()  // no panic on empty
+}
+
+func TestSparedBandwidth(t *testing.T) {
+	a := New(CapAlways, 1)
+	rec := &capRecorder{}
+	a.Register(App{ID: 1, Async: true, Weight: 50, Apply: rec.apply}, 10)
+	a.Register(App{ID: 2, Weight: 50}, 0)
+	if got := a.SparedBandwidth(100); got != 0 {
+		t.Fatalf("spared before reallocate = %v", got)
+	}
+	a.Reallocate()
+	// App 1's fair share of 100 is 50; capped at 10 → spares 40.
+	if got := a.SparedBandwidth(100); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("spared = %v, want 40", got)
+	}
+	// A cap above the share spares nothing.
+	a.SetRequired(1, 500)
+	a.SetActive(2, true)
+	a.Reallocate() // still capped; requirement only applies on re-toggle
+	if got := a.SparedBandwidth(100); got < 0 {
+		t.Fatalf("negative spared: %v", got)
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	a := New(CapAlways, 1)
+	a.Register(App{ID: 1, Weight: 1}, 0)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate", func() { a.Register(App{ID: 1, Weight: 1}, 0) })
+	mustPanic("async without apply", func() {
+		a.Register(App{ID: 2, Async: true, Weight: 1}, 0)
+	})
+	// Updates on unknown apps are ignored.
+	a.SetRequired(99, 5)
+	a.SetActive(99, true)
+	if a.Capped(99) {
+		t.Fatal("unknown app capped")
+	}
+}
+
+func TestPredictiveCapping(t *testing.T) {
+	a := New(CapDuringContention, 1)
+	rec := &capRecorder{}
+	a.Register(App{ID: 1, Async: true, Weight: 1, Apply: rec.apply}, 100)
+	a.Register(App{ID: 2, Weight: 1}, 0)
+	sec := func(x float64) des.Time { return des.Time(des.DurationOf(x)) }
+
+	// Job 2 bursts for 2 s every 10 s, last burst at t=0.
+	a.SetForecast(2, Forecast{
+		Period:    des.Duration(10 * des.Second),
+		BurstLen:  des.Duration(2 * des.Second),
+		LastBurst: 0,
+	})
+
+	// t=5s: next burst at t=10; lookahead 3 s does not reach it.
+	a.ReallocatePredictive(sec(5), des.Duration(3*des.Second))
+	if a.Capped(1) {
+		t.Fatal("capped outside the predicted window")
+	}
+	// t=8s: burst at t=10 is within the 3 s lookahead → pre-emptive cap.
+	a.ReallocatePredictive(sec(8), des.Duration(3*des.Second))
+	if !a.Capped(1) {
+		t.Fatal("not capped ahead of the predicted burst")
+	}
+	// t=11s: burst in progress (10..12) → still capped.
+	a.ReallocatePredictive(sec(11), des.Duration(1*des.Second))
+	if !a.Capped(1) {
+		t.Fatal("uncapped during the burst")
+	}
+	// t=13s: burst over, next at t=20 → uncapped.
+	a.ReallocatePredictive(sec(13), des.Duration(3*des.Second))
+	if a.Capped(1) {
+		t.Fatal("still capped after the burst")
+	}
+	// Reactive fallback: no forecast match but the other app is active.
+	a.SetActive(2, true)
+	a.ReallocatePredictive(sec(14), des.Duration(1*des.Second))
+	if !a.Capped(1) {
+		t.Fatal("reactive fallback missing")
+	}
+}
+
+func TestForecastWindow(t *testing.T) {
+	sec := func(x float64) des.Time { return des.Time(des.DurationOf(x)) }
+	f := Forecast{
+		Period:    des.Duration(10 * des.Second),
+		BurstLen:  des.Duration(2 * des.Second),
+		LastBurst: sec(100),
+	}
+	cases := []struct {
+		now       float64
+		lookahead float64
+		want      bool
+	}{
+		{101, 1, true},  // mid-burst
+		{103, 1, false}, // between bursts
+		{108, 3, true},  // next burst (110) inside lookahead
+		{108, 1, false}, // not yet
+		{95, 20, true},  // before LastBurst: the recorded burst is ahead
+	}
+	for _, c := range cases {
+		got := f.windowContains(sec(c.now), des.DurationOf(c.lookahead))
+		if got != c.want {
+			t.Errorf("windowContains(now=%v, look=%v) = %v, want %v",
+				c.now, c.lookahead, got, c.want)
+		}
+	}
+	if (Forecast{}).windowContains(0, des.Second) {
+		t.Fatal("zero forecast matched")
+	}
+}

@@ -1,0 +1,361 @@
+package tmio
+
+import (
+	"encoding/json"
+
+	"io"
+	"iobehind/internal/adio"
+	"math"
+
+	"iobehind/internal/des"
+	"iobehind/internal/metrics"
+	"iobehind/internal/pfs"
+	"iobehind/internal/region"
+)
+
+// Report is the aggregated result of one traced run. Build it with
+// Tracer.Report after the simulation has finished.
+type Report struct {
+	Ranks    int            `json:"ranks"`
+	Strategy StrategyConfig `json:"strategy"`
+
+	// Runtime is the wall span from the first rank start to the last rank
+	// end, including the post-runtime overhead. AppTime excludes the
+	// post-runtime overhead (the paper's "App" curve in Fig. 5).
+	Runtime des.Duration `json:"runtime"`
+	AppTime des.Duration `json:"app_time"`
+
+	// TotalRankTime is Σ over ranks of their individual runtimes — the
+	// denominator of the time-distribution percentages.
+	TotalRankTime des.Duration `json:"total_rank_time"`
+
+	// Aggregated time categories (Σ over ranks).
+	PeriOverhead des.Duration    `json:"peri_overhead"`
+	PostOverhead des.Duration    `json:"post_overhead"`
+	SyncTime     [2]des.Duration `json:"sync_time"`     // by pfs.Class
+	AsyncLost    [2]des.Duration `json:"async_lost"`    // wait-blocked
+	AsyncExploit [2]des.Duration `json:"async_exploit"` // hidden background I/O
+	ComputeFree  des.Duration    `json:"compute_free"`
+
+	SyncOps  int `json:"sync_ops"`
+	AsyncOps int `json:"async_ops"`
+
+	// FirstLimitAt is when the fastest rank applied a limit for the first
+	// time (the vertical purple line of Figs. 9, 10, 13, 14); zero when no
+	// limit was ever applied.
+	FirstLimitAt des.Time `json:"first_limit_at"`
+
+	// RequiredBandwidth is max over regions of the B sweep — the minimal
+	// application-level bandwidth that avoids all waiting.
+	RequiredBandwidth float64 `json:"required_bandwidth"`
+
+	// Rank-level phases feeding the application-level sweeps.
+	BPhases  []region.Phase `json:"-"`
+	TPhases  []region.Phase `json:"-"`
+	BLPhases []region.Phase `json:"-"`
+
+	// TotalBytes moved per class through traced operations.
+	TotalBytes [2]int64 `json:"total_bytes"`
+
+	// WindowHist and SizeHist summarize the distribution of the measured
+	// required-bandwidth windows (seconds) and asynchronous request sizes
+	// (bytes) across all ranks and phases.
+	WindowHist metrics.Histogram `json:"-"`
+	SizeHist   metrics.Histogram `json:"-"`
+}
+
+// Report aggregates the tracer's per-rank records. Call it after the
+// engine has drained; phases still open are closed at each rank's end
+// time.
+func (t *Tracer) Report() *Report {
+	rep := &Report{
+		Ranks:    len(t.ranks),
+		Strategy: t.cfg.Strategy,
+	}
+	var firstStart, lastEnd, lastAppEnd des.Time
+	first := true
+	rep.FirstLimitAt = 0
+
+	for _, rt := range t.ranks {
+		if len(rt.open) > 0 {
+			end := rt.rank.Ended()
+			if end == 0 {
+				end = rt.rank.Now()
+			}
+			rt.closePhase(end, false)
+		}
+
+		start, end := rt.rank.Started(), rt.rank.Ended()
+		runtime := end.Sub(start)
+		rep.TotalRankTime += runtime
+		if first || start < firstStart {
+			firstStart = start
+		}
+		if end > lastEnd {
+			lastEnd = end
+		}
+		if appEnd := end.Add(-rt.post); first || appEnd > lastAppEnd {
+			lastAppEnd = appEnd
+		}
+		first = false
+
+		rep.PeriOverhead += rt.peri
+		rep.PostOverhead += rt.post
+		for c := 0; c < 2; c++ {
+			rep.SyncTime[c] += rt.syncTotal[c]
+			rep.AsyncLost[c] += rt.waitTotal[c]
+			rep.TotalBytes[c] += rt.syncBytes[c]
+		}
+		rep.SyncOps += rt.syncOps
+		rep.AsyncOps += rt.asyncOps
+		if rt.limitApplied && (rep.FirstLimitAt == 0 || rt.firstLimitAt < rep.FirstLimitAt) {
+			rep.FirstLimitAt = rt.firstLimitAt
+		}
+
+		// Phases → region inputs; exploit from operation windows.
+		for _, ph := range rt.phases {
+			rep.WindowHist.Observe(ph.te.Sub(ph.ts).Seconds())
+			rep.BPhases = append(rep.BPhases, region.Phase{
+				Rank: rt.rank.ID(), Index: ph.index,
+				Start: ph.ts, End: ph.te, Value: ph.b,
+			})
+			if ph.limited {
+				rep.BLPhases = append(rep.BLPhases, region.Phase{
+					Rank: rt.rank.ID(), Index: ph.index,
+					Start: ph.ts, End: ph.te, Value: ph.bl,
+				})
+			}
+			var tStart, tEnd des.Time
+			var bytes int64
+			for i, req := range ph.requests {
+				st := req.Stats()
+				if i == 0 || st.Start < tStart {
+					tStart = st.Start
+				}
+				if st.End > tEnd {
+					tEnd = st.End
+				}
+				bytes += st.Bytes
+				rep.TotalBytes[req.Class()] += st.Bytes
+				rep.SizeHist.Observe(float64(st.Bytes))
+
+				op := metrics.Interval{Start: st.Start, End: st.End}
+				lostOverlap := rt.waits.OverlapWith(op)
+				exploit := op.Duration() - lostOverlap
+				if exploit < 0 {
+					exploit = 0
+				}
+				rep.AsyncExploit[req.Class()] += exploit
+			}
+			if tEnd > tStart {
+				window := tEnd.Sub(tStart).Seconds()
+				rep.TPhases = append(rep.TPhases, region.Phase{
+					Rank: rt.rank.ID(), Index: ph.index,
+					Start: tStart, End: tEnd,
+					Value: float64(bytes) / window,
+				})
+			}
+		}
+	}
+
+	rep.Runtime = lastEnd.Sub(firstStart)
+	rep.AppTime = lastAppEnd.Sub(firstStart)
+	rep.ComputeFree = rep.TotalRankTime - rep.PeriOverhead - rep.PostOverhead -
+		rep.SyncTime[0] - rep.SyncTime[1] -
+		rep.AsyncLost[0] - rep.AsyncLost[1] -
+		rep.AsyncExploit[0] - rep.AsyncExploit[1]
+	if rep.ComputeFree < 0 {
+		rep.ComputeFree = 0
+	}
+	rep.RequiredBandwidth = region.MaxRequired(rep.BPhases)
+	return rep
+}
+
+// BSeries returns the application-level required-bandwidth step series
+// (Eq. 3 sweep over the rank phases).
+func (r *Report) BSeries() *metrics.Series { return region.Sweep("B", r.BPhases) }
+
+// TSeries returns the application-level throughput step series.
+func (r *Report) TSeries() *metrics.Series { return region.Sweep("T", r.TPhases) }
+
+// BLSeries returns the application-level applied-limit step series.
+func (r *Report) BLSeries() *metrics.Series { return region.Sweep("B_L", r.BLPhases) }
+
+// Distribution is the run's time breakdown as percentages of
+// TotalRankTime, the categories of the paper's Figs. 6, 7 and 11.
+type Distribution struct {
+	SyncWrite         float64 `json:"sync_write"`
+	SyncRead          float64 `json:"sync_read"`
+	AsyncWriteLost    float64 `json:"async_write_lost"`
+	AsyncReadLost     float64 `json:"async_read_lost"`
+	AsyncWriteExploit float64 `json:"async_write_exploit"`
+	AsyncReadExploit  float64 `json:"async_read_exploit"`
+	OverheadPeri      float64 `json:"overhead_peri"`
+	OverheadPost      float64 `json:"overhead_post"`
+	ComputeFree       float64 `json:"compute_free"`
+}
+
+// Distribution computes the percentage breakdown.
+func (r *Report) Distribution() Distribution {
+	total := r.TotalRankTime.Seconds()
+	if total <= 0 {
+		return Distribution{}
+	}
+	pct := func(d des.Duration) float64 { return 100 * d.Seconds() / total }
+	return Distribution{
+		SyncWrite:         pct(r.SyncTime[pfs.Write]),
+		SyncRead:          pct(r.SyncTime[pfs.Read]),
+		AsyncWriteLost:    pct(r.AsyncLost[pfs.Write]),
+		AsyncReadLost:     pct(r.AsyncLost[pfs.Read]),
+		AsyncWriteExploit: pct(r.AsyncExploit[pfs.Write]),
+		AsyncReadExploit:  pct(r.AsyncExploit[pfs.Read]),
+		OverheadPeri:      pct(r.PeriOverhead),
+		OverheadPost:      pct(r.PostOverhead),
+		ComputeFree:       pct(r.ComputeFree),
+	}
+}
+
+// VisibleIO is the paper's "visible I/O": synchronous I/O plus the time
+// spent blocked in asynchronous waits, as a percentage of TotalRankTime.
+func (d Distribution) VisibleIO() float64 {
+	return d.SyncWrite + d.SyncRead + d.AsyncWriteLost + d.AsyncReadLost
+}
+
+// ExploitTotal is the combined hidden (exploited) asynchronous I/O share.
+func (d Distribution) ExploitTotal() float64 {
+	return d.AsyncWriteExploit + d.AsyncReadExploit
+}
+
+// OverheadShare returns the tracer's total overhead as a fraction of the
+// runtime (peri + post), in percent.
+func (r *Report) OverheadShare() float64 {
+	total := r.TotalRankTime.Seconds()
+	if total <= 0 {
+		return 0
+	}
+	return 100 * (r.PeriOverhead.Seconds() + r.PostOverhead.Seconds()) / total
+}
+
+// WriteJSON streams the report (including the distribution and the swept
+// series) as JSON, the stand-in for TMIO's result file.
+func (r *Report) WriteJSON(w io.Writer) error {
+	type seriesJSON struct {
+		Name   string       `json:"name"`
+		Points [][2]float64 `json:"points"`
+	}
+	conv := func(s *metrics.Series) seriesJSON {
+		out := seriesJSON{Name: s.Name}
+		for _, p := range s.Points {
+			out.Points = append(out.Points, [2]float64{p.T.Seconds(), p.V})
+		}
+		return out
+	}
+	type phaseJSON struct {
+		Rank  int     `json:"rank"`
+		Index int     `json:"index"`
+		Ts    float64 `json:"ts"`
+		Te    float64 `json:"te"`
+		B     float64 `json:"b"`
+	}
+	phases := make([]phaseJSON, 0, len(r.BPhases))
+	for _, ph := range r.BPhases {
+		phases = append(phases, phaseJSON{
+			Rank: ph.Rank, Index: ph.Index,
+			Ts: ph.Start.Seconds(), Te: ph.End.Seconds(), B: ph.Value,
+		})
+	}
+	payload := struct {
+		*Report
+		Distribution Distribution `json:"distribution"`
+		B            seriesJSON   `json:"b_series"`
+		T            seriesJSON   `json:"t_series"`
+		BL           seriesJSON   `json:"bl_series"`
+		Phases       []phaseJSON  `json:"phases"`
+	}{
+		Report:       r,
+		Distribution: r.Distribution(),
+		B:            conv(r.BSeries()),
+		T:            conv(r.TSeries()),
+		BL:           conv(r.BLSeries()),
+		Phases:       phases,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
+}
+
+// Speedup returns how much faster this run's AppTime is than other's, in
+// percent (positive = this run is faster).
+func (r *Report) Speedup(other *Report) float64 {
+	a, b := r.AppTime.Seconds(), other.AppTime.Seconds()
+	if a <= 0 || b <= 0 || math.IsNaN(a) || math.IsNaN(b) {
+		return 0
+	}
+	return 100 * (b - a) / b
+}
+
+// RankStats is one rank's share of the run, for imbalance analysis.
+type RankStats struct {
+	Rank       int          `json:"rank"`
+	Runtime    des.Duration `json:"runtime"`
+	Phases     int          `json:"phases"`
+	LastB      float64      `json:"last_b"`
+	WaitTime   des.Duration `json:"wait_time"`
+	SyncTime   des.Duration `json:"sync_time"`
+	AsyncBytes int64        `json:"async_bytes"`
+	Limit      float64      `json:"limit"` // applied write limit; Inf if none
+}
+
+// RankBreakdown returns per-rank statistics in rank order, computed from
+// the tracer's live records (call after the run).
+func (t *Tracer) RankBreakdown() []RankStats {
+	out := make([]RankStats, 0, len(t.ranks))
+	for _, rt := range t.ranks {
+		st := RankStats{
+			Rank:     rt.rank.ID(),
+			Runtime:  rt.rank.Ended().Sub(rt.rank.Started()),
+			Phases:   len(rt.phases),
+			LastB:    rt.lastB,
+			WaitTime: rt.waitTotal[0] + rt.waitTotal[1],
+			SyncTime: rt.syncTotal[0] + rt.syncTotal[1],
+			Limit:    rt.limit,
+		}
+		for _, ph := range rt.phases {
+			for _, req := range ph.requests {
+				st.AsyncBytes += req.Bytes()
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// PollingThroughput estimates a request's throughput the way an
+// application polling MPI_Test every interval would: the completion is
+// only observed at the first poll after the actual end, so the measured
+// window rounds up to the polling grid and the throughput is
+// underestimated. The paper's modified MPICH avoids this by timing inside
+// the I/O thread ("this removes the need for less accurate methods, like
+// frequent calls to MPI_Test"); this helper quantifies what that buys.
+func PollingThroughput(st *adio.RequestStats, interval des.Duration) float64 {
+	if st.End <= st.Start || st.Bytes <= 0 {
+		return 0
+	}
+	window := st.End.Sub(st.Start)
+	if interval > 0 {
+		polls := (int64(window) + int64(interval) - 1) / int64(interval)
+		window = des.Duration(polls) * interval
+	}
+	return float64(st.Bytes) / window.Seconds()
+}
+
+// ThroughputError returns the relative underestimation of
+// PollingThroughput at the given interval versus the I/O thread's exact
+// measurement, in [0, 1).
+func ThroughputError(st *adio.RequestStats, interval des.Duration) float64 {
+	exact := PollingThroughput(st, 0)
+	if exact <= 0 {
+		return 0
+	}
+	return 1 - PollingThroughput(st, interval)/exact
+}

@@ -1,0 +1,120 @@
+package tmio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Sink receives metric records as they are produced, the stand-in for
+// TMIO's ZeroMQ/TCP streaming mode ("the library can also send the data
+// via TCP to avoid creating a file").
+type Sink interface {
+	// Emit delivers one metric record. Implementations must be safe to
+	// call from the simulation goroutines (which run one at a time).
+	Emit(rec StreamRecord) error
+	Close() error
+}
+
+// StreamRecord is one rank-phase measurement, streamed as a JSON line.
+type StreamRecord struct {
+	Rank  int     `json:"rank"`
+	Phase int     `json:"phase"`
+	TsSec float64 `json:"ts"`
+	TeSec float64 `json:"te"`
+	B     float64 `json:"b"`
+	BL    float64 `json:"bl,omitempty"`
+}
+
+// TCPSink streams JSON lines over a TCP connection.
+type TCPSink struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *json.Encoder
+}
+
+// DialSink connects to addr (e.g. "127.0.0.1:5555").
+func DialSink(addr string) (*TCPSink, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tmio: dial sink: %w", err)
+	}
+	return NewTCPSink(conn), nil
+}
+
+// NewTCPSink wraps an established connection.
+func NewTCPSink(conn net.Conn) *TCPSink {
+	bw := bufio.NewWriter(conn)
+	return &TCPSink{conn: conn, bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink.
+func (s *TCPSink) Emit(rec StreamRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(rec)
+}
+
+// Close flushes and closes the connection.
+func (s *TCPSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil {
+		s.conn.Close()
+		return err
+	}
+	return s.conn.Close()
+}
+
+// SetSink attaches a streaming sink; every phase close is emitted as a
+// record. Pass nil to detach.
+func (t *Tracer) SetSink(sink Sink) { t.sink = sink }
+
+// emitPhase streams a closed phase if a sink is attached. Emission errors
+// are recorded, not fatal: tracing must never kill the application.
+func (t *Tracer) emitPhase(rank int, rec phaseRecord) {
+	if t.sink == nil {
+		return
+	}
+	err := t.sink.Emit(StreamRecord{
+		Rank:  rank,
+		Phase: rec.index,
+		TsSec: rec.ts.Seconds(),
+		TeSec: rec.te.Seconds(),
+		B:     rec.b,
+		BL:    rec.bl,
+	})
+	if err != nil && t.sinkErr == nil {
+		t.sinkErr = err
+	}
+}
+
+// SinkErr returns the first streaming error encountered, if any.
+func (t *Tracer) SinkErr() error { return t.sinkErr }
+
+// CollectSink is an in-memory Sink for tests and examples.
+type CollectSink struct {
+	mu      sync.Mutex
+	Records []StreamRecord
+}
+
+// Emit implements Sink.
+func (c *CollectSink) Emit(rec StreamRecord) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Records = append(c.Records, rec)
+	return nil
+}
+
+// Close implements Sink.
+func (c *CollectSink) Close() error { return nil }
+
+// Len returns the number of collected records.
+func (c *CollectSink) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.Records)
+}
