@@ -1,0 +1,38 @@
+# Standard entry points. Everything is pure Go (stdlib only), so the
+# toolchain is the only dependency.
+
+GO ?= go
+
+.PHONY: all build vet test race bench sweep ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race-detector sweep: real Fig. 1 + Fig. 5 experiment points run
+# concurrently through the worker pool (internal/runner/sweep_race_test.go),
+# asserting byte-identical rendered output vs. the serial path.
+race:
+	$(GO) test -race ./internal/runner/...
+
+# Figure benchmarks with the paper's headline metrics, plus the
+# serial-vs-parallel-vs-warm-cache sweep comparison.
+bench:
+	$(GO) test -bench=Fig -benchtime=1x .
+	$(GO) test -run xxx -bench=BenchmarkSweep -benchtime=1x .
+
+# Regenerate all figures as one parallel sweep with a warm disk cache.
+sweep:
+	$(GO) run ./cmd/iosweep -figs all -scale quick -j 0 -cache .iosweep-cache
+
+ci: vet build test race
+
+clean:
+	rm -rf .iosweep-cache

@@ -13,10 +13,13 @@
 package iobehind_test
 
 import (
+	"context"
 	"os"
+	"runtime"
 	"testing"
 
 	"iobehind/internal/experiments"
+	"iobehind/internal/runner"
 	"iobehind/internal/tmio"
 )
 
@@ -233,4 +236,87 @@ func BenchmarkFig14Hacc1536Direct(b *testing.B) {
 		d := res.Report.Distribution()
 		b.ReportMetric(d.AsyncWriteLost+d.AsyncReadLost, "lost-%")
 	}
+}
+
+// --- Sweep benchmarks: serial vs parallel vs warm cache -----------------
+//
+// The whole suite is one flat list of independent simulation points
+// (figure × strategy × rank count), which is what internal/runner fans
+// across a worker pool. Compare
+//
+//	go test -bench=Sweep -benchtime=1x
+//
+// on a multi-core machine: SweepParallel divides SweepSerial's wall time
+// by roughly min(workers, points-in-flight), and SweepWarmCache replaces
+// computation with gob decoding. All three produce identical results —
+// TestConcurrentSweepMatchesSerialRender in internal/runner asserts the
+// rendered bytes match.
+
+// sweepPoints enumerates every distinct figure's points at the bench scale.
+func sweepPoints(b *testing.B) []runner.Point {
+	b.Helper()
+	var points []runner.Point
+	for _, fig := range experiments.FigOrder {
+		exp, ok := experiments.ByFig(fig, benchScale())
+		if !ok {
+			b.Fatalf("figure %s missing", fig)
+		}
+		points = append(points, exp.Points...)
+	}
+	return points
+}
+
+// runSweep executes the suite's points through r and fails on any point error.
+func runSweep(b *testing.B, r *runner.Runner, points []runner.Point) []runner.Result {
+	b.Helper()
+	results, err := r.Run(context.Background(), points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := runner.FirstErr(results); err != nil {
+		b.Fatal(err)
+	}
+	return results
+}
+
+// BenchmarkSweepSerial is the baseline: every point of every figure, one
+// worker, no cache — the historical execution order.
+func BenchmarkSweepSerial(b *testing.B) {
+	points := sweepPoints(b)
+	for i := 0; i < b.N; i++ {
+		runSweep(b, runner.Serial(), points)
+	}
+	b.ReportMetric(float64(len(points)), "points")
+}
+
+// BenchmarkSweepParallel fans the same points across GOMAXPROCS workers.
+// Wall time shrinks with core count; the results are identical.
+func BenchmarkSweepParallel(b *testing.B) {
+	points := sweepPoints(b)
+	for i := 0; i < b.N; i++ {
+		runSweep(b, runner.New(runner.Options{}), points)
+	}
+	b.ReportMetric(float64(len(points)), "points")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkSweepWarmCache measures a re-run against a fully warmed disk
+// cache: every point is served by hashing its config and gob-decoding the
+// stored result, no simulation at all.
+func BenchmarkSweepWarmCache(b *testing.B) {
+	cache, err := runner.OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := sweepPoints(b)
+	r := runner.New(runner.Options{Cache: cache})
+	runSweep(b, r, points) // warm the cache outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := runSweep(b, r, points)
+		if got := runner.CachedCount(results); got != len(points) {
+			b.Fatalf("only %d/%d points served from cache", got, len(points))
+		}
+	}
+	b.ReportMetric(float64(len(points)), "points")
 }

@@ -6,21 +6,32 @@
 //	iobench -fig 7          # WaComM++ distribution sweep
 //	iobench -fig 8 -scale paper
 //	iobench -fig all        # everything
+//	iobench -fig all -j 8 -cache .iosweep-cache
 //
 // -scale quick (default) shrinks the runs to seconds; -scale paper uses
 // the paper's configurations (up to 9216 ranks; the largest runs take
 // minutes).
+//
+// Each figure decomposes into independent simulation points; -j fans them
+// across a worker pool and -cache memoizes completed points on disk, so a
+// re-run recomputes only points whose configuration changed. Output is
+// byte-identical at any -j. Figures still print one after another in
+// request order; to fan *all* figures' points into one flat sweep, use
+// cmd/iosweep instead.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"iobehind/internal/experiments"
+	"iobehind/internal/runner"
 )
 
 // renderer is any experiment result that can print itself.
@@ -28,20 +39,20 @@ type renderer interface{ Render() string }
 
 // figures maps figure ids to their runners. Figures sharing one experiment
 // (1+2, 5+6) appear under both ids.
-var figures = map[string]func(experiments.Scale) (renderer, error){
-	"1":  func(s experiments.Scale) (renderer, error) { return experiments.Fig01(s) },
-	"3":  func(s experiments.Scale) (renderer, error) { return experiments.Fig03(s) },
-	"4":  func(s experiments.Scale) (renderer, error) { return experiments.Fig04(s) },
-	"2":  func(s experiments.Scale) (renderer, error) { return experiments.Fig01(s) },
-	"5":  func(s experiments.Scale) (renderer, error) { return experiments.Fig05(s) },
-	"6":  func(s experiments.Scale) (renderer, error) { return experiments.Fig05(s) },
-	"7":  func(s experiments.Scale) (renderer, error) { return experiments.Fig07(s) },
-	"8":  func(s experiments.Scale) (renderer, error) { return experiments.Fig08(s) },
-	"9":  func(s experiments.Scale) (renderer, error) { return experiments.Fig09(s) },
-	"10": func(s experiments.Scale) (renderer, error) { return experiments.Fig10(s) },
-	"11": func(s experiments.Scale) (renderer, error) { return experiments.Fig11(s) },
-	"13": func(s experiments.Scale) (renderer, error) { return experiments.Fig13(s) },
-	"14": func(s experiments.Scale) (renderer, error) { return experiments.Fig14(s) },
+var figures = map[string]func(context.Context, experiments.Scale, *runner.Runner) (renderer, error){
+	"1":  func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig01With(ctx, s, r) },
+	"2":  func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig01With(ctx, s, r) },
+	"3":  func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig03With(ctx, s, r) },
+	"4":  func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig04With(ctx, s, r) },
+	"5":  func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig05With(ctx, s, r) },
+	"6":  func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig05With(ctx, s, r) },
+	"7":  func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig07With(ctx, s, r) },
+	"8":  func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig08With(ctx, s, r) },
+	"9":  func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig09With(ctx, s, r) },
+	"10": func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig10With(ctx, s, r) },
+	"11": func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig11With(ctx, s, r) },
+	"13": func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig13With(ctx, s, r) },
+	"14": func(ctx context.Context, s experiments.Scale, r *runner.Runner) (renderer, error) { return experiments.Fig14With(ctx, s, r) },
 }
 
 // order lists each distinct experiment once for -fig all.
@@ -51,6 +62,8 @@ func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: 1,2,3,4,5,6,7,8,9,10,11,13,14 or 'all'")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	outDir := flag.String("out", "", "also write each figure's output to <out>/fig<N>.txt")
+	workers := flag.Int("j", 1, "worker pool size per figure (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "cache directory for completed points (empty disables caching)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -78,6 +91,20 @@ func main() {
 		}
 	}
 
+	opts := runner.Options{Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iobench:", err)
+			os.Exit(1)
+		}
+		opts.Cache = cache
+	}
+	r := runner.New(opts)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "iobench:", err)
@@ -86,7 +113,7 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		res, err := figures[id](scale)
+		res, err := figures[id](ctx, scale, r)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "iobench: figure %s: %v\n", id, err)
 			os.Exit(1)

@@ -4,9 +4,11 @@
 //
 //	haccio -ranks 96 -json run.json
 //	ioreport run.json
+//	ioreport -replay -j 4 run.json   # what-if replay, strategies in parallel
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -16,6 +18,7 @@ import (
 	"iobehind/internal/des"
 	"iobehind/internal/region"
 	"iobehind/internal/report"
+	"iobehind/internal/runner"
 	"iobehind/internal/tmio"
 )
 
@@ -70,6 +73,7 @@ type seriesJSON struct {
 func main() {
 	replay := flag.Bool("replay", false,
 		"replay all limiting strategies over the recorded phases (what-if analysis)")
+	workers := flag.Int("j", 1, "worker pool size for -replay (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ioreport [-replay] <report.json>")
@@ -122,16 +126,21 @@ func main() {
 	}
 
 	if *replay {
-		replayStrategies(rep.Phases)
+		if err := replayStrategies(rep.Phases, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "ioreport:", err)
+			os.Exit(1)
+		}
 	}
 }
 
 // replayStrategies runs the what-if analysis: what would each strategy
-// have done on the recorded required bandwidths?
-func replayStrategies(raw []phaseJSON) {
+// have done on the recorded required bandwidths? Each strategy's replay
+// is an independent pass over the same read-only phase record, so they
+// fan across the worker pool; the table rows keep strategy order.
+func replayStrategies(raw []phaseJSON, workers int) error {
 	if len(raw) == 0 {
 		fmt.Println("\nno recorded phases: cannot replay (report was written by an older version?)")
-		return
+		return nil
 	}
 	phases := make([]region.Phase, 0, len(raw))
 	for _, ph := range raw {
@@ -150,15 +159,32 @@ func replayStrategies(raw []phaseJSON) {
 		{Strategy: tmio.Adaptive, Tol: 1.1},
 		{Strategy: tmio.Frequent, Tol: 1.1},
 	}
+	points := make([]runner.Point, len(strategies))
+	for i, s := range strategies {
+		s := s
+		points[i] = runner.Point{
+			Key: "replay/" + s.Label(),
+			Run: func(context.Context) (any, error) { return tmio.Replay(phases, s), nil },
+		}
+	}
+	results, err := runner.New(runner.Options{Workers: workers}).Run(context.Background(), points)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("strategy replay over the recorded phases (projected)",
 		"strategy", "wait share", "exploit share")
-	for _, res := range tmio.CompareStrategies(phases, strategies) {
+	for _, pr := range results {
+		if pr.Err != nil {
+			return pr.Err
+		}
+		res := pr.Value.(*tmio.ReplayResult)
 		t.AddRow(res.Strategy.Label(),
 			report.Pct(100*res.WaitShare()),
 			report.Pct(100*res.ExploitShare()))
 	}
 	fmt.Println()
 	fmt.Print(t.Render())
+	return nil
 }
 
 func peak(s seriesJSON) float64 {

@@ -1,0 +1,145 @@
+// Command iosweep regenerates the paper's figures as one parallel sweep:
+// every requested figure decomposes into independent (strategy × rank
+// count) simulation points, iosweep fans all of them across a worker
+// pool, and the figures assemble and print in request order — byte-
+// identical to the serial path, only faster.
+//
+//	iosweep                                      # all figures, quick scale
+//	iosweep -figs 1,5,8 -scale quick -j 8        # selected figures, 8 workers
+//	iosweep -figs all -scale paper -cache .iosweep-cache
+//
+// With -cache, completed points are memoized on disk keyed by a hash of
+// their full configuration (strategy, tolerances, rank count, file-system
+// config, workload parameters): a re-run recomputes only points whose
+// configuration changed and serves the rest from the cache. The final
+// summary line reports how many points ran and how many were cached.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"iobehind/internal/experiments"
+	"iobehind/internal/runner"
+)
+
+func main() {
+	figs := flag.String("figs", "all", "figures to reproduce: comma list of 1,2,3,4,5,6,7,8,9,10,11,13,14 or 'all'")
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "cache directory for completed points (empty disables caching)")
+	outDir := flag.String("out", "", "also write each figure's output to <out>/fig<N>.txt")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "paper":
+		scale = experiments.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "iosweep: unknown scale %q (want quick or paper)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	// Resolve the figure list to distinct experiments, keeping request
+	// order. Figures sharing an experiment (1+2, 5+6) are swept once.
+	var ids []string
+	if *figs == "all" {
+		ids = experiments.FigOrder
+	} else {
+		for _, id := range strings.Split(*figs, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	type figExp struct {
+		id     string // the id the user asked for
+		exp    *experiments.Experiment
+		offset int // index of the experiment's first point in the flat sweep
+	}
+	var sweep []figExp
+	seen := map[string]bool{}
+	var points []runner.Point
+	for _, id := range ids {
+		exp, ok := experiments.ByFig(id, scale)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iosweep: unknown figure %q\n", id)
+			os.Exit(2)
+		}
+		if seen[exp.Fig] {
+			continue
+		}
+		seen[exp.Fig] = true
+		sweep = append(sweep, figExp{id: id, exp: exp, offset: len(points)})
+		points = append(points, exp.Points...)
+	}
+
+	opts := runner.Options{Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iosweep:", err)
+			os.Exit(1)
+		}
+		opts.Cache = cache
+	}
+	r := runner.New(opts)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "iosweep:", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	results, runErr := r.Run(ctx, points)
+	wall := time.Since(start).Round(time.Millisecond)
+
+	failed := 0
+	for _, fe := range sweep {
+		res, err := fe.exp.Assemble(results[fe.offset : fe.offset+len(fe.exp.Points)])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosweep: figure %s: %v\n", fe.id, err)
+			failed++
+			continue
+		}
+		header := fmt.Sprintf("### Figure %s (%s scale, %d points)\n\n",
+			fe.id, scale, len(fe.exp.Points))
+		body := res.Render()
+		fmt.Print(header)
+		fmt.Println(body)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, "fig"+fe.id+".txt")
+			if err := os.WriteFile(path, []byte(header+body+"\n"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "iosweep:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	cached := runner.CachedCount(results)
+	fmt.Fprintf(os.Stderr, "iosweep: %d points (%d computed, %d cached) across %d figures in %v with %d workers\n",
+		len(points), len(points)-cached, cached, len(sweep), wall, r.Workers())
+	if c := r.Cache(); c != nil {
+		st := c.Stats()
+		fmt.Fprintf(os.Stderr, "iosweep: cache %s: %d hits, %d misses, %d writes, %d errors\n",
+			c.Dir(), st.Hits, st.Misses, st.Writes, st.Errors)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "iosweep:", runErr)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -7,15 +7,32 @@
 // the whole suite runs in seconds (used by tests and the default
 // benchmarks); Paper uses the paper's configurations (up to 9216 ranks,
 // minutes of wall time for the largest runs).
+//
+// Every figure is decomposed into independent sweep points — one
+// deterministic simulation per (strategy, rank count) cell — enumerated
+// as an Experiment and executed through internal/runner. FigNN(scale)
+// keeps the historical serial behaviour (one worker, no cache);
+// FigNNWith(ctx, scale, r) fans the same points across r's worker pool
+// and, when r carries a cache, skips points whose configuration already
+// ran. Both paths produce byte-identical rendered output: results are
+// assembled in point-enumeration order regardless of completion order,
+// and each point's simulation is a pure function of its seed and config.
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"iobehind/internal/adio"
+	"iobehind/internal/cluster"
 	"iobehind/internal/des"
 	"iobehind/internal/mpi"
 	"iobehind/internal/mpiio"
 	"iobehind/internal/pfs"
+	"iobehind/internal/region"
+	"iobehind/internal/runner"
 	"iobehind/internal/tmio"
+	"iobehind/internal/workloads"
 )
 
 // Scale selects the experiment size.
@@ -94,4 +111,118 @@ func (s *stack) execute(main func(*mpi.Rank)) (*tmio.Report, error) {
 		return nil, err
 	}
 	return s.tracer.Report(), nil
+}
+
+// Renderer is any experiment result that can print itself.
+type Renderer interface{ Render() string }
+
+// Experiment is one figure's sweep decomposed into independent runner
+// points, plus the assembly that turns the point results — delivered in
+// point order — back into the figure's renderable result.
+type Experiment struct {
+	// Fig is the canonical figure id; figures sharing one experiment
+	// ("2" with "1", "6" with "5") share the id of the lower figure.
+	Fig      string
+	Points   []runner.Point
+	Assemble func(results []runner.Result) (Renderer, error)
+}
+
+// RunExperiment executes exp's points through r (serially when r is nil)
+// and assembles the figure result.
+func RunExperiment(ctx context.Context, r *runner.Runner, exp *Experiment) (Renderer, error) {
+	if r == nil {
+		r = runner.Serial()
+	}
+	results, err := r.Run(ctx, exp.Points)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Assemble(results)
+}
+
+// FigOrder lists each distinct experiment once, in figure order — the
+// iteration order of "run everything".
+var FigOrder = []string{"1", "3", "4", "5", "7", "8", "9", "10", "11", "13", "14"}
+
+// experimentsByFig maps every figure id to its experiment constructor.
+var experimentsByFig = map[string]func(Scale) *Experiment{
+	"1": Fig01Experiment, "2": Fig01Experiment,
+	"3": Fig03Experiment, "4": Fig04Experiment,
+	"5": Fig05Experiment, "6": Fig05Experiment,
+	"7": Fig07Experiment, "8": Fig08Experiment,
+	"9": Fig09Experiment, "10": Fig10Experiment,
+	"11": Fig11Experiment, "13": Fig13Experiment,
+	"14": Fig14Experiment,
+}
+
+// ByFig returns the experiment behind a figure id ("1".."14"; "2" and
+// "6" resolve to the experiments of Figs. 1 and 5, which render them).
+func ByFig(fig string, scale Scale) (*Experiment, bool) {
+	ctor, ok := experimentsByFig[fig]
+	if !ok {
+		return nil, false
+	}
+	return ctor(scale), true
+}
+
+// pointConfig is the canonical, hashable identity of one sweep point:
+// everything that determines the point's result. It is JSON-encoded into
+// the cache key, so any change here (or to the structs it embeds)
+// invalidates exactly the affected points.
+type pointConfig struct {
+	Fig      string
+	Scale    string
+	Workload string
+	Ranks    int   `json:",omitempty"`
+	Seed     int64 `json:",omitempty"`
+	Strategy tmio.StrategyConfig
+	Agent    adio.Config
+	Tracer   tmio.Config
+	FS       *pfs.Config             `json:",omitempty"`
+	Hacc     *workloads.HaccConfig   `json:",omitempty"`
+	Wacomm   *workloads.WacommConfig `json:",omitempty"`
+	Phased   *workloads.PhasedConfig `json:",omitempty"`
+	Cluster  *cluster.Config         `json:",omitempty"`
+	Phases   []region.Phase          `json:",omitempty"` // Fig. 4's exact inputs
+}
+
+// config derives the hashable point identity from a spec.
+func (sp spec) config(fig string, scale Scale, workload string) pointConfig {
+	return pointConfig{
+		Fig:      fig,
+		Scale:    scale.String(),
+		Workload: workload,
+		Ranks:    sp.ranks,
+		Seed:     sp.seed,
+		Strategy: sp.strategy,
+		Agent:    sp.agent,
+		Tracer:   sp.tracer,
+		FS:       sp.fsCfg,
+	}
+}
+
+// simPoint wraps one traced simulation as a cacheable sweep point:
+// build the stack, run mainOf's per-rank main, return the report.
+func simPoint(key string, cfg pointConfig, sp spec, mainOf func(*mpiio.System) func(*mpi.Rank)) runner.Point {
+	return runner.Point{
+		Key:    key,
+		Config: cfg,
+		New:    func() any { return new(tmio.Report) },
+		Run: func(context.Context) (any, error) {
+			st := build(sp)
+			return st.execute(mainOf(st.sys))
+		},
+	}
+}
+
+// reportAt extracts point i's report from the sweep results.
+func reportAt(results []runner.Result, i int) (*tmio.Report, error) {
+	if err := results[i].Err; err != nil {
+		return nil, err
+	}
+	rep, ok := results[i].Value.(*tmio.Report)
+	if !ok {
+		return nil, fmt.Errorf("point %s: unexpected result type %T", results[i].Key, results[i].Value)
+	}
+	return rep, nil
 }

@@ -1,15 +1,66 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"iobehind/internal/runner"
 	"iobehind/internal/tmio"
 )
 
 func TestScaleString(t *testing.T) {
 	if Quick.String() != "quick" || Paper.String() != "paper" {
 		t.Fatal("scale names")
+	}
+}
+
+func TestByFigRegistry(t *testing.T) {
+	// Every advertised figure id resolves, shared figures resolve to the
+	// same canonical experiment, and point keys are unique across the
+	// whole suite (the cache relies on that).
+	seen := map[string]string{}
+	for _, id := range append(append([]string{}, FigOrder...), "2", "6") {
+		exp, ok := ByFig(id, Quick)
+		if !ok {
+			t.Fatalf("figure %s missing", id)
+		}
+		if len(exp.Points) == 0 || exp.Assemble == nil {
+			t.Fatalf("figure %s: empty experiment", id)
+		}
+		for _, p := range exp.Points {
+			if p.Key == "" || p.Run == nil {
+				t.Fatalf("figure %s: malformed point %+v", id, p.Key)
+			}
+			// Aliased ids ("2"→"1", "6"→"5") legitimately re-enumerate the
+			// same keys; distinct experiments must not collide.
+			if prev, dup := seen[p.Key]; dup && prev != exp.Fig {
+				t.Fatalf("point key %q shared by experiments %s and %s", p.Key, prev, exp.Fig)
+			}
+			seen[p.Key] = exp.Fig
+		}
+	}
+	if _, ok := ByFig("12", Quick); ok {
+		t.Fatal("figure 12 does not exist in the paper's evaluation")
+	}
+	shared, _ := ByFig("2", Quick)
+	canon, _ := ByFig("1", Quick)
+	if shared.Fig != canon.Fig {
+		t.Fatalf("fig 2 canonical id = %s", shared.Fig)
+	}
+}
+
+func TestFig04ParallelMatchesSerial(t *testing.T) {
+	serial, err := Fig04(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig04With(context.Background(), Quick, runner.New(runner.Options{Workers: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Render() != parallel.Render() {
+		t.Fatal("fig04 parallel render differs from serial")
 	}
 }
 

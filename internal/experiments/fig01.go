@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"iobehind/internal/des"
 	"iobehind/internal/pfs"
 	"iobehind/internal/report"
+	"iobehind/internal/runner"
 )
 
 // ClusterResult covers Figs. 1 and 2: the eight-job scenario run once
@@ -21,22 +23,69 @@ type ClusterResult struct {
 	LimitCfg cluster.Config
 }
 
-// Fig01 runs the motivating cluster scenario.
+// Fig01 runs the motivating cluster scenario serially.
 func Fig01(scale Scale) (*ClusterResult, error) {
+	return Fig01With(context.Background(), scale, nil)
+}
+
+// Fig01With runs the scenario's two points (no limit, contention-only
+// limit) through r.
+func Fig01With(ctx context.Context, scale Scale, r *runner.Runner) (*ClusterResult, error) {
+	res, err := RunExperiment(ctx, r, Fig01Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*ClusterResult), nil
+}
+
+// clusterPoint wraps one multi-job scenario run as a cacheable point.
+func clusterPoint(key string, scale Scale, cfg cluster.Config) runner.Point {
+	cfgCopy := cfg
+	return runner.Point{
+		Key:    key,
+		Config: pointConfig{Fig: "1", Scale: scale.String(), Workload: "cluster", Cluster: &cfgCopy},
+		New:    func() any { return new(cluster.Result) },
+		Run:    func(context.Context) (any, error) { return cluster.Run(cfg) },
+	}
+}
+
+// Fig01Experiment enumerates the scenario's two independent runs.
+func Fig01Experiment(scale Scale) *Experiment {
 	baseCfg := scenario(scale, cluster.NoLimit)
 	limitCfg := scenario(scale, cluster.LimitDuringContention)
-	base, err := cluster.Run(baseCfg)
-	if err != nil {
-		return nil, fmt.Errorf("fig01 base: %w", err)
+	return &Experiment{
+		Fig: "1",
+		Points: []runner.Point{
+			clusterPoint("fig01/"+scale.String()+"/base", scale, baseCfg),
+			clusterPoint("fig01/"+scale.String()+"/limited", scale, limitCfg),
+		},
+		Assemble: func(results []runner.Result) (Renderer, error) {
+			base, err := clusterAt(results, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig01 base: %w", err)
+			}
+			limited, err := clusterAt(results, 1)
+			if err != nil {
+				return nil, fmt.Errorf("fig01 limited: %w", err)
+			}
+			return &ClusterResult{
+				Scale: scale, Base: base, Limited: limited,
+				BaseCfg: baseCfg, LimitCfg: limitCfg,
+			}, nil
+		},
 	}
-	limited, err := cluster.Run(limitCfg)
-	if err != nil {
-		return nil, fmt.Errorf("fig01 limited: %w", err)
+}
+
+// clusterAt extracts point i's scenario result.
+func clusterAt(results []runner.Result, i int) (*cluster.Result, error) {
+	if err := results[i].Err; err != nil {
+		return nil, err
 	}
-	return &ClusterResult{
-		Scale: scale, Base: base, Limited: limited,
-		BaseCfg: baseCfg, LimitCfg: limitCfg,
-	}, nil
+	res, ok := results[i].Value.(*cluster.Result)
+	if !ok {
+		return nil, fmt.Errorf("point %s: unexpected result type %T", results[i].Key, results[i].Value)
+	}
+	return res, nil
 }
 
 func scenario(scale Scale, policy cluster.LimitPolicy) cluster.Config {

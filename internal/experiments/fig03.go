@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"iobehind/internal/des"
+	"iobehind/internal/mpi"
+	"iobehind/internal/mpiio"
 	"iobehind/internal/pfs"
 	"iobehind/internal/report"
+	"iobehind/internal/runner"
 	"iobehind/internal/tmio"
 	"iobehind/internal/workloads"
 )
@@ -23,6 +27,20 @@ type Fig03Result struct {
 // Fig03 traces a small phased application on a noisy file system and
 // tabulates rank 0's windows.
 func Fig03(scale Scale) (*Fig03Result, error) {
+	return Fig03With(context.Background(), scale, nil)
+}
+
+// Fig03With runs the experiment's single point through r.
+func Fig03With(ctx context.Context, scale Scale, r *runner.Runner) (*Fig03Result, error) {
+	res, err := RunExperiment(ctx, r, Fig03Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Fig03Result), nil
+}
+
+// Fig03Experiment enumerates the (single) traced run behind Fig. 3.
+func Fig03Experiment(scale Scale) *Experiment {
 	fs := pfs.Config{
 		WriteCapacity: 4e9,
 		ReadCapacity:  4e9,
@@ -32,23 +50,34 @@ func Fig03(scale Scale) (*Fig03Result, error) {
 		},
 	}
 	_ = scale // the example is fixed-size; it runs in milliseconds
-	st := build(spec{
+	sp := spec{
 		ranks:  4,
 		seed:   3,
 		agent:  stormAgent(),
 		tracer: tmio.Config{DisableOverhead: true},
 		fsCfg:  &fs,
-	})
-	rep, err := st.execute(workloads.PhasedMain(st.sys, workloads.PhasedConfig{
+	}
+	cfg := workloads.PhasedConfig{
 		Phases:         8,
 		BytesPerPhase:  256 << 20,
 		Compute:        des.Second,
 		JitterFraction: 0.05,
-	}))
-	if err != nil {
-		return nil, fmt.Errorf("fig03: %w", err)
 	}
-	return &Fig03Result{Report: rep}, nil
+	pcfg := sp.config("3", scale, "phased")
+	pcfg.Phased = &cfg
+	point := simPoint("fig03/"+scale.String(), pcfg, sp,
+		func(sys *mpiio.System) func(*mpi.Rank) { return workloads.PhasedMain(sys, cfg) })
+	return &Experiment{
+		Fig:    "3",
+		Points: []runner.Point{point},
+		Assemble: func(results []runner.Result) (Renderer, error) {
+			rep, err := reportAt(results, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig03: %w", err)
+			}
+			return &Fig03Result{Report: rep}, nil
+		},
+	}
 }
 
 // Render prints rank 0's per-phase windows: Δt (required) vs Δt° (actual).

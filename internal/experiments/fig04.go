@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"iobehind/internal/des"
 	"iobehind/internal/region"
 	"iobehind/internal/report"
+	"iobehind/internal/runner"
 )
 
 // Fig04Result reproduces the paper's worked example of Fig. 4: three ranks
@@ -27,7 +29,26 @@ type seriesWrap struct {
 }
 
 // Fig04 builds the Fig. 4 example. Scale is ignored: the example is fixed.
-func Fig04(Scale) (*Fig04Result, error) {
+func Fig04(scale Scale) (*Fig04Result, error) {
+	return Fig04With(context.Background(), scale, nil)
+}
+
+// Fig04With runs the worked example's single point through r.
+func Fig04With(ctx context.Context, scale Scale, r *runner.Runner) (*Fig04Result, error) {
+	res, err := RunExperiment(ctx, r, Fig04Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Fig04Result), nil
+}
+
+// fig04Payload is the cacheable result of the exact aggregation point.
+type fig04Payload struct {
+	Phases []region.Phase
+}
+
+// Fig04Experiment enumerates the exact Eq. 3 aggregation as one point.
+func Fig04Experiment(scale Scale) *Experiment {
 	sec := func(x float64) des.Time { return des.Time(des.DurationOf(x)) }
 	// The figure's layout: B_{1,0} starts first, then B_{2,0}, then
 	// B_{0,0}; they end in the same order, producing five regions.
@@ -36,11 +57,31 @@ func Fig04(Scale) (*Fig04Result, error) {
 		{Rank: 2, Index: 0, Start: sec(2), End: sec(8), Value: 20e6},
 		{Rank: 0, Index: 0, Start: sec(3), End: sec(10), Value: 50e6},
 	}
-	s := region.Sweep("B_r", phases)
-	return &Fig04Result{
-		Phases: phases,
-		Series: &seriesWrap{s: s, end: sec(11)},
-	}, nil
+	point := runner.Point{
+		Key:    "fig04/" + scale.String(),
+		Config: pointConfig{Fig: "4", Scale: scale.String(), Workload: "exact", Phases: phases},
+		New:    func() any { return new(fig04Payload) },
+		Run: func(context.Context) (any, error) {
+			return &fig04Payload{Phases: phases}, nil
+		},
+	}
+	return &Experiment{
+		Fig:    "4",
+		Points: []runner.Point{point},
+		Assemble: func(results []runner.Result) (Renderer, error) {
+			if err := results[0].Err; err != nil {
+				return nil, fmt.Errorf("fig04: %w", err)
+			}
+			p, ok := results[0].Value.(*fig04Payload)
+			if !ok {
+				return nil, fmt.Errorf("point %s: unexpected result type %T", results[0].Key, results[0].Value)
+			}
+			return &Fig04Result{
+				Phases: p.Phases,
+				Series: &seriesWrap{s: region.Sweep("B_r", p.Phases), end: sec(11)},
+			}, nil
+		},
+	}
 }
 
 // Render prints the rank phases and the resulting regions.

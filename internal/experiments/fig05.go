@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"iobehind/internal/des"
+	"iobehind/internal/mpi"
+	"iobehind/internal/mpiio"
 	"iobehind/internal/report"
+	"iobehind/internal/runner"
 	"iobehind/internal/tmio"
 	"iobehind/internal/workloads"
 )
@@ -24,34 +28,72 @@ type HaccRuntimeResult struct {
 	Rows  []HaccRuntimeRow
 }
 
-// Fig05 runs the HACC-IO rank sweep behind Figs. 5 and 6.
+// Fig05 runs the HACC-IO rank sweep behind Figs. 5 and 6 serially.
 func Fig05(scale Scale) (*HaccRuntimeResult, error) {
+	return Fig05With(context.Background(), scale, nil)
+}
+
+// Fig05With fans the sweep's (rank count × run) points across r.
+func Fig05With(ctx context.Context, scale Scale, r *runner.Runner) (*HaccRuntimeResult, error) {
+	res, err := RunExperiment(ctx, r, Fig05Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*HaccRuntimeResult), nil
+}
+
+// haccPoint wraps one traced HACC-IO run as a cacheable point.
+func haccPoint(key, fig string, scale Scale, sp spec, cfg workloads.HaccConfig) runner.Point {
+	pcfg := sp.config(fig, scale, "hacc")
+	pcfg.Hacc = &cfg
+	return simPoint(key, pcfg, sp,
+		func(sys *mpiio.System) func(*mpi.Rank) { return workloads.HaccMain(sys, cfg) })
+}
+
+// Fig05Experiment enumerates the rank sweep: every rank count is run
+// with the direct strategy (run 0) and without limiting (run 1), with
+// the tracing overhead model enabled.
+func Fig05Experiment(scale Scale) *Experiment {
 	ranks := []int{1, 4, 16, 64}
 	cfg := workloads.HaccConfig{Loops: 3, ParticlesPerRank: 500_000}
 	if scale == Paper {
 		ranks = []int{1, 6, 24, 96, 384, 1536, 9216}
 		cfg = workloads.HaccConfig{} // paper defaults: 10 loops
 	}
-	res := &HaccRuntimeResult{Scale: scale}
+	type cell struct{ ranks, run int }
+	var cells []cell
+	var points []runner.Point
 	for _, n := range ranks {
 		for run, strat := range []tmio.StrategyConfig{
 			{Strategy: tmio.Direct, Tol: 1.1},
 			{},
 		} {
-			st := build(spec{
+			sp := spec{
 				ranks:    n,
 				seed:     int64(100*n + run + 1),
 				strategy: strat,
 				agent:    stormAgent(),
-			})
-			rep, err := st.execute(workloads.HaccMain(st.sys, cfg))
-			if err != nil {
-				return nil, fmt.Errorf("fig05 ranks=%d run=%d: %w", n, run, err)
 			}
-			res.Rows = append(res.Rows, HaccRuntimeRow{Ranks: n, Run: run, Report: rep})
+			key := fmt.Sprintf("fig05/%s/ranks=%d/run=%d", scale, n, run)
+			cells = append(cells, cell{n, run})
+			points = append(points, haccPoint(key, "5", scale, sp, cfg))
 		}
 	}
-	return res, nil
+	return &Experiment{
+		Fig:    "5",
+		Points: points,
+		Assemble: func(results []runner.Result) (Renderer, error) {
+			res := &HaccRuntimeResult{Scale: scale}
+			for i, c := range cells {
+				rep, err := reportAt(results, i)
+				if err != nil {
+					return nil, fmt.Errorf("fig05 ranks=%d run=%d: %w", c.ranks, c.run, err)
+				}
+				res.Rows = append(res.Rows, HaccRuntimeRow{Ranks: c.ranks, Run: c.run, Report: rep})
+			}
+			return res, nil
+		},
+	}
 }
 
 // RenderFig5 prints the runtime curves: total, application, and overhead

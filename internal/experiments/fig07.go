@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"iobehind/internal/mpi"
+	"iobehind/internal/mpiio"
 	"iobehind/internal/report"
+	"iobehind/internal/runner"
 	"iobehind/internal/tmio"
 	"iobehind/internal/workloads"
 )
@@ -34,34 +38,73 @@ type WacommDistResult struct {
 	Rows  []WacommDistRow
 }
 
-// Fig07 runs the WaComM++ distribution sweep.
+// Fig07 runs the WaComM++ distribution sweep serially.
 func Fig07(scale Scale) (*WacommDistResult, error) {
+	return Fig07With(context.Background(), scale, nil)
+}
+
+// Fig07With fans the sweep's (rank count × run) points across r.
+func Fig07With(ctx context.Context, scale Scale, r *runner.Runner) (*WacommDistResult, error) {
+	res, err := RunExperiment(ctx, r, Fig07Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*WacommDistResult), nil
+}
+
+// wacommPoint wraps one traced WaComM++ run as a cacheable point.
+func wacommPoint(key, fig string, scale Scale, sp spec, cfg workloads.WacommConfig) runner.Point {
+	pcfg := sp.config(fig, scale, "wacomm")
+	pcfg.Wacomm = &cfg
+	return simPoint(key, pcfg, sp,
+		func(sys *mpiio.System) func(*mpi.Rank) { return workloads.WacommMain(sys, cfg) })
+}
+
+// Fig07Experiment enumerates the six-run matrix per rank count.
+func Fig07Experiment(scale Scale) *Experiment {
 	ranks := []int{8, 24}
 	cfg := workloads.WacommConfig{Particles: 200_000, Iterations: 8}
 	if scale == Paper {
 		ranks = []int{24, 48, 96, 192, 384, 768, 1536, 3072, 6144}
 		cfg = workloads.WacommConfig{} // paper defaults: 2e6 particles, 50 h
 	}
-	res := &WacommDistResult{Scale: scale}
+	type cell struct {
+		ranks, run int
+		strat      tmio.StrategyConfig
+	}
+	var cells []cell
+	var points []runner.Point
 	for _, n := range ranks {
 		for run, strat := range wacommSixRuns() {
-			st := build(spec{
+			sp := spec{
 				ranks:    n,
 				seed:     int64(1000*n + run + 1),
 				strategy: strat,
 				agent:    stormAgent(),
 				tracer:   tmio.Config{DisableOverhead: true},
-			})
-			rep, err := st.execute(workloads.WacommMain(st.sys, cfg))
-			if err != nil {
-				return nil, fmt.Errorf("fig07 ranks=%d run=%d: %w", n, run, err)
 			}
-			res.Rows = append(res.Rows, WacommDistRow{
-				Ranks: n, Run: run, Strategy: strat, Report: rep,
-			})
+			key := fmt.Sprintf("fig07/%s/ranks=%d/run=%d", scale, n, run)
+			cells = append(cells, cell{n, run, strat})
+			points = append(points, wacommPoint(key, "7", scale, sp, cfg))
 		}
 	}
-	return res, nil
+	return &Experiment{
+		Fig:    "7",
+		Points: points,
+		Assemble: func(results []runner.Result) (Renderer, error) {
+			res := &WacommDistResult{Scale: scale}
+			for i, c := range cells {
+				rep, err := reportAt(results, i)
+				if err != nil {
+					return nil, fmt.Errorf("fig07 ranks=%d run=%d: %w", c.ranks, c.run, err)
+				}
+				res.Rows = append(res.Rows, WacommDistRow{
+					Ranks: c.ranks, Run: c.run, Strategy: c.strat, Report: rep,
+				})
+			}
+			return res, nil
+		},
+	}
 }
 
 // Render prints the Fig. 7 bars as rows.

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"iobehind/internal/des"
 	"iobehind/internal/metrics"
 	"iobehind/internal/report"
+	"iobehind/internal/runner"
 	"iobehind/internal/tmio"
 	"iobehind/internal/workloads"
 )
@@ -82,21 +84,40 @@ func (s *SeriesResult) Render() string {
 	return b.String()
 }
 
-// wacommSeriesRun executes one WaComM++ run and wraps it as a series
-// result.
-func wacommSeriesRun(name string, ranks int, seed int64, strat tmio.StrategyConfig, cfg workloads.WacommConfig) (*SeriesResult, error) {
-	st := build(spec{
+// wacommSeriesPoint enumerates one WaComM++ run destined to become a
+// series result.
+func wacommSeriesPoint(key, fig string, scale Scale, ranks int, seed int64,
+	strat tmio.StrategyConfig, cfg workloads.WacommConfig) runner.Point {
+	sp := spec{
 		ranks:    ranks,
 		seed:     seed,
 		strategy: strat,
 		agent:    stormAgent(),
 		tracer:   tmio.Config{DisableOverhead: true},
-	})
-	rep, err := st.execute(workloads.WacommMain(st.sys, cfg))
+	}
+	return wacommPoint(key, fig, scale, sp, cfg)
+}
+
+// seriesAt wraps point i's report as the named series result, preserving
+// the serial path's error wrapping ("<name>: <cause>").
+func seriesAt(results []runner.Result, i int, name string, strat tmio.StrategyConfig) (*SeriesResult, error) {
+	rep, err := reportAt(results, i)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	return newSeriesResult(name, strat, rep), nil
+}
+
+// singleSeriesExperiment builds a one-point experiment rendering as a
+// series result.
+func singleSeriesExperiment(fig, name string, point runner.Point, strat tmio.StrategyConfig) *Experiment {
+	return &Experiment{
+		Fig:    fig,
+		Points: []runner.Point{point},
+		Assemble: func(results []runner.Result) (Renderer, error) {
+			return seriesAt(results, 0, name, strat)
+		},
+	}
 }
 
 func wacommSeriesConfig(scale Scale) (ranks int, cfg workloads.WacommConfig) {
@@ -109,16 +130,47 @@ func wacommSeriesConfig(scale Scale) (ranks int, cfg workloads.WacommConfig) {
 // Fig08 runs WaComM++ at 96 ranks without a bandwidth limit: the
 // unthrottled bursts reach orders of magnitude above the requirement.
 func Fig08(scale Scale) (*SeriesResult, error) {
+	return Fig08With(context.Background(), scale, nil)
+}
+
+// Fig08With runs the experiment's single point through r.
+func Fig08With(ctx context.Context, scale Scale, r *runner.Runner) (*SeriesResult, error) {
+	res, err := RunExperiment(ctx, r, Fig08Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*SeriesResult), nil
+}
+
+// Fig08Experiment enumerates the unthrottled 96-rank WaComM++ run.
+func Fig08Experiment(scale Scale) *Experiment {
 	ranks, cfg := wacommSeriesConfig(scale)
-	return wacommSeriesRun("Fig. 8 — WaComM++ 96 ranks, no limit", ranks, 8, tmio.StrategyConfig{}, cfg)
+	strat := tmio.StrategyConfig{}
+	point := wacommSeriesPoint("fig08/"+scale.String(), "8", scale, ranks, 8, strat, cfg)
+	return singleSeriesExperiment("8", "Fig. 8 — WaComM++ 96 ranks, no limit", point, strat)
 }
 
 // Fig09 runs WaComM++ at 96 ranks with the up-only strategy: T follows the
 // previous phase's B_L instead of bursting.
 func Fig09(scale Scale) (*SeriesResult, error) {
+	return Fig09With(context.Background(), scale, nil)
+}
+
+// Fig09With runs the experiment's single point through r.
+func Fig09With(ctx context.Context, scale Scale, r *runner.Runner) (*SeriesResult, error) {
+	res, err := RunExperiment(ctx, r, Fig09Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*SeriesResult), nil
+}
+
+// Fig09Experiment enumerates the up-only 96-rank WaComM++ run.
+func Fig09Experiment(scale Scale) *Experiment {
 	ranks, cfg := wacommSeriesConfig(scale)
-	return wacommSeriesRun("Fig. 9 — WaComM++ 96 ranks, up-only",
-		ranks, 8, tmio.StrategyConfig{Strategy: tmio.UpOnly, Tol: 1.1}, cfg)
+	strat := tmio.StrategyConfig{Strategy: tmio.UpOnly, Tol: 1.1}
+	point := wacommSeriesPoint("fig09/"+scale.String(), "9", scale, ranks, 8, strat, cfg)
+	return singleSeriesExperiment("9", "Fig. 9 — WaComM++ 96 ranks, up-only", point, strat)
 }
 
 // Fig10Result compares the 9216-rank WaComM++ run with the up-only
@@ -128,24 +180,47 @@ type Fig10Result struct {
 	None   *SeriesResult
 }
 
-// Fig10 runs the large-scale WaComM++ comparison.
+// Fig10 runs the large-scale WaComM++ comparison serially.
 func Fig10(scale Scale) (*Fig10Result, error) {
+	return Fig10With(context.Background(), scale, nil)
+}
+
+// Fig10With runs the comparison's two points through r.
+func Fig10With(ctx context.Context, scale Scale, r *runner.Runner) (*Fig10Result, error) {
+	res, err := RunExperiment(ctx, r, Fig10Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Fig10Result), nil
+}
+
+// Fig10Experiment enumerates the up-only and unrestricted runs.
+func Fig10Experiment(scale Scale) *Experiment {
 	ranks, cfg := 9216, workloads.WacommConfig{}
 	if scale == Quick {
 		ranks = 256
 		cfg = workloads.WacommConfig{Particles: 400_000, Iterations: 10}
 	}
-	up, err := wacommSeriesRun("Fig. 10 (top) — WaComM++ 9216 ranks, up-only",
-		ranks, 10, tmio.StrategyConfig{Strategy: tmio.UpOnly, Tol: 1.1}, cfg)
-	if err != nil {
-		return nil, err
+	upStrat := tmio.StrategyConfig{Strategy: tmio.UpOnly, Tol: 1.1}
+	noneStrat := tmio.StrategyConfig{}
+	return &Experiment{
+		Fig: "10",
+		Points: []runner.Point{
+			wacommSeriesPoint("fig10/"+scale.String()+"/up-only", "10", scale, ranks, 10, upStrat, cfg),
+			wacommSeriesPoint("fig10/"+scale.String()+"/no-limit", "10", scale, ranks, 10, noneStrat, cfg),
+		},
+		Assemble: func(results []runner.Result) (Renderer, error) {
+			up, err := seriesAt(results, 0, "Fig. 10 (top) — WaComM++ 9216 ranks, up-only", upStrat)
+			if err != nil {
+				return nil, err
+			}
+			none, err := seriesAt(results, 1, "Fig. 10 (bottom) — WaComM++ 9216 ranks, no limit", noneStrat)
+			if err != nil {
+				return nil, err
+			}
+			return &Fig10Result{UpOnly: up, None: none}, nil
+		},
 	}
-	none, err := wacommSeriesRun("Fig. 10 (bottom) — WaComM++ 9216 ranks, no limit",
-		ranks, 10, tmio.StrategyConfig{}, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Fig10Result{UpOnly: up, None: none}, nil
 }
 
 // Speedup returns the limited run's speedup over the unrestricted run in

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"iobehind/internal/des"
 	"iobehind/internal/pfs"
 	"iobehind/internal/report"
+	"iobehind/internal/runner"
 	"iobehind/internal/tmio"
 	"iobehind/internal/workloads"
 )
@@ -37,34 +39,65 @@ type HaccDistResult struct {
 	Rows  []HaccDistRow
 }
 
-// Fig11 runs the HACC-IO distribution sweep.
+// Fig11 runs the HACC-IO distribution sweep serially.
 func Fig11(scale Scale) (*HaccDistResult, error) {
+	return Fig11With(context.Background(), scale, nil)
+}
+
+// Fig11With fans the sweep's (rank count × run) points across r.
+func Fig11With(ctx context.Context, scale Scale, r *runner.Runner) (*HaccDistResult, error) {
+	res, err := RunExperiment(ctx, r, Fig11Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*HaccDistResult), nil
+}
+
+// Fig11Experiment enumerates the eight-run matrix per rank count.
+func Fig11Experiment(scale Scale) *Experiment {
 	ranks := []int{8, 32}
 	cfg := workloads.HaccConfig{Loops: 3, ParticlesPerRank: 500_000}
 	if scale == Paper {
 		ranks = []int{96, 768, 3072, 9216}
 		cfg = workloads.HaccConfig{}
 	}
-	res := &HaccDistResult{Scale: scale}
+	type cell struct {
+		ranks, run int
+		strat      tmio.StrategyConfig
+	}
+	var cells []cell
+	var points []runner.Point
 	for _, n := range ranks {
 		for run, strat := range haccEightRuns() {
-			st := build(spec{
+			sp := spec{
 				ranks:    n,
 				seed:     int64(10_000*n + run + 1),
 				strategy: strat,
 				agent:    stormAgent(),
 				tracer:   tmio.Config{DisableOverhead: true},
-			})
-			rep, err := st.execute(workloads.HaccMain(st.sys, cfg))
-			if err != nil {
-				return nil, fmt.Errorf("fig11 ranks=%d run=%d: %w", n, run, err)
 			}
-			res.Rows = append(res.Rows, HaccDistRow{
-				Ranks: n, Run: run, Strategy: strat, Report: rep,
-			})
+			key := fmt.Sprintf("fig11/%s/ranks=%d/run=%d", scale, n, run)
+			cells = append(cells, cell{n, run, strat})
+			points = append(points, haccPoint(key, "11", scale, sp, cfg))
 		}
 	}
-	return res, nil
+	return &Experiment{
+		Fig:    "11",
+		Points: points,
+		Assemble: func(results []runner.Result) (Renderer, error) {
+			res := &HaccDistResult{Scale: scale}
+			for i, c := range cells {
+				rep, err := reportAt(results, i)
+				if err != nil {
+					return nil, fmt.Errorf("fig11 ranks=%d run=%d: %w", c.ranks, c.run, err)
+				}
+				res.Rows = append(res.Rows, HaccDistRow{
+					Ranks: c.ranks, Run: c.run, Strategy: c.strat, Report: rep,
+				})
+			}
+			return res, nil
+		},
+	}
 }
 
 // Render prints the Fig. 11 bars as rows.
@@ -105,22 +138,19 @@ func (r *HaccDistResult) ExploitByStrategy() map[tmio.Strategy]float64 {
 	return out
 }
 
-// haccSeriesRun executes one HACC-IO run wrapped as a series result.
-func haccSeriesRun(name string, ranks int, seed int64, strat tmio.StrategyConfig,
-	cfg workloads.HaccConfig, fsCfg *pfs.Config) (*SeriesResult, error) {
-	st := build(spec{
+// haccSeriesPoint enumerates one HACC-IO run destined to become a series
+// result.
+func haccSeriesPoint(key, fig string, scale Scale, ranks int, seed int64,
+	strat tmio.StrategyConfig, cfg workloads.HaccConfig, fsCfg *pfs.Config) runner.Point {
+	sp := spec{
 		ranks:    ranks,
 		seed:     seed,
 		strategy: strat,
 		agent:    stormAgent(),
 		tracer:   tmio.Config{DisableOverhead: true},
 		fsCfg:    fsCfg,
-	})
-	rep, err := st.execute(workloads.HaccMain(st.sys, cfg))
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	return newSeriesResult(name, strat, rep), nil
+	return haccPoint(key, fig, scale, sp, cfg)
 }
 
 // Fig13Result holds the four 9216-rank HACC-IO series runs: direct,
@@ -129,10 +159,24 @@ type Fig13Result struct {
 	Runs []*SeriesResult
 }
 
-// Fig13 runs the large-scale HACC-IO time-series comparison. The phase
-// length is fixed at 5 s so ten loops span ≈100 s, matching the x-axes of
-// the paper's Fig. 13.
+// Fig13 runs the large-scale HACC-IO time-series comparison serially.
+// The phase length is fixed at 5 s so ten loops span ≈100 s, matching
+// the x-axes of the paper's Fig. 13.
 func Fig13(scale Scale) (*Fig13Result, error) {
+	return Fig13With(context.Background(), scale, nil)
+}
+
+// Fig13With fans the four strategy runs across r.
+func Fig13With(ctx context.Context, scale Scale, r *runner.Runner) (*Fig13Result, error) {
+	res, err := RunExperiment(ctx, r, Fig13Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Fig13Result), nil
+}
+
+// Fig13Experiment enumerates the four strategy runs.
+func Fig13Experiment(scale Scale) *Experiment {
 	ranks := 9216
 	// 300k particles per rank (11.4 MB): the aggregate burst occupies the
 	// file system for ~1 s of each 5 s phase, leaving room for the
@@ -145,22 +189,34 @@ func Fig13(scale Scale) (*Fig13Result, error) {
 	}
 	strategies := []struct {
 		name  string
+		slug  string
 		strat tmio.StrategyConfig
 	}{
-		{"Fig. 13 — HACC-IO 9216 ranks, direct", tmio.StrategyConfig{Strategy: tmio.Direct, Tol: 1.1}},
-		{"Fig. 13 — HACC-IO 9216 ranks, up-only", tmio.StrategyConfig{Strategy: tmio.UpOnly, Tol: 1.1}},
-		{"Fig. 13 — HACC-IO 9216 ranks, adaptive", tmio.StrategyConfig{Strategy: tmio.Adaptive, Tol: 1.1}},
-		{"Fig. 13 — HACC-IO 9216 ranks, no limit", tmio.StrategyConfig{}},
+		{"Fig. 13 — HACC-IO 9216 ranks, direct", "direct", tmio.StrategyConfig{Strategy: tmio.Direct, Tol: 1.1}},
+		{"Fig. 13 — HACC-IO 9216 ranks, up-only", "up-only", tmio.StrategyConfig{Strategy: tmio.UpOnly, Tol: 1.1}},
+		{"Fig. 13 — HACC-IO 9216 ranks, adaptive", "adaptive", tmio.StrategyConfig{Strategy: tmio.Adaptive, Tol: 1.1}},
+		{"Fig. 13 — HACC-IO 9216 ranks, no limit", "no-limit", tmio.StrategyConfig{}},
 	}
-	res := &Fig13Result{}
+	var points []runner.Point
 	for i, s := range strategies {
-		run, err := haccSeriesRun(s.name, ranks, int64(13_000+i), s.strat, cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		res.Runs = append(res.Runs, run)
+		key := fmt.Sprintf("fig13/%s/%s", scale, s.slug)
+		points = append(points, haccSeriesPoint(key, "13", scale, ranks, int64(13_000+i), s.strat, cfg, nil))
 	}
-	return res, nil
+	return &Experiment{
+		Fig:    "13",
+		Points: points,
+		Assemble: func(results []runner.Result) (Renderer, error) {
+			res := &Fig13Result{}
+			for i, s := range strategies {
+				run, err := seriesAt(results, i, s.name, s.strat)
+				if err != nil {
+					return nil, err
+				}
+				res.Runs = append(res.Runs, run)
+			}
+			return res, nil
+		},
+	}
 }
 
 // Render prints all four series.
@@ -179,6 +235,20 @@ func (r *Fig13Result) Render() string {
 // file system: I/O variability keeps the throughput below the applied
 // limit, which causes the short waiting phases the paper discusses.
 func Fig14(scale Scale) (*SeriesResult, error) {
+	return Fig14With(context.Background(), scale, nil)
+}
+
+// Fig14With runs the experiment's single point through r.
+func Fig14With(ctx context.Context, scale Scale, r *runner.Runner) (*SeriesResult, error) {
+	res, err := RunExperiment(ctx, r, Fig14Experiment(scale))
+	if err != nil {
+		return nil, err
+	}
+	return res.(*SeriesResult), nil
+}
+
+// Fig14Experiment enumerates the noisy-file-system run.
+func Fig14Experiment(scale Scale) *Experiment {
 	ranks := 1536
 	// 64 GB/s aggregate demand against the 106 GB/s system: the noise
 	// dips below the demand and cause the short waits the figure shows.
@@ -197,6 +267,7 @@ func Fig14(scale Scale) (*SeriesResult, error) {
 		DipProbability: 0.1,
 		DipFloor:       0.15,
 	}
-	return haccSeriesRun("Fig. 14 — HACC-IO 1536 ranks, direct, noisy file system",
-		ranks, 14, tmio.StrategyConfig{Strategy: tmio.Direct, Tol: 1.1}, cfg, &fs)
+	strat := tmio.StrategyConfig{Strategy: tmio.Direct, Tol: 1.1}
+	point := haccSeriesPoint("fig14/"+scale.String(), "14", scale, ranks, 14, strat, cfg, &fs)
+	return singleSeriesExperiment("14", "Fig. 14 — HACC-IO 1536 ranks, direct, noisy file system", point, strat)
 }

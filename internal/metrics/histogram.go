@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"sort"
@@ -91,6 +93,36 @@ func (h *Histogram) Mode() float64 {
 		return 0
 	}
 	return math.Pow(2, float64(best)) * 1.5
+}
+
+// histogramWire mirrors Histogram with exported fields for serialization.
+type histogramWire struct {
+	Counts map[int]int
+	Total  int
+	Sum    float64
+	Min    float64
+	Max    float64
+}
+
+// MarshalBinary encodes the histogram for gob/binary transport. Histogram
+// fields are unexported, so results embedding one (e.g. tmio.Report) need
+// this to survive a cache round-trip.
+func (h Histogram) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(histogramWire{
+		Counts: h.counts, Total: h.total, Sum: h.sum, Min: h.min, Max: h.max,
+	})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary restores a histogram encoded by MarshalBinary.
+func (h *Histogram) UnmarshalBinary(data []byte) error {
+	var w histogramWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	h.counts, h.total, h.sum, h.min, h.max = w.Counts, w.Total, w.Sum, w.Min, w.Max
+	return nil
 }
 
 // Render draws the histogram as rows of #-bars, with unit applied to the

@@ -45,6 +45,46 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+func TestHistogramBinaryRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 1.5, 3, 3.5, 3.9, 100} {
+		h.Observe(v)
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != h.Count() || got.Mean() != h.Mean() ||
+		got.Min() != h.Min() || got.Max() != h.Max() || got.Mode() != h.Mode() {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, h)
+	}
+	if len(got.Buckets()) != len(h.Buckets()) {
+		t.Fatalf("buckets: %+v vs %+v", got.Buckets(), h.Buckets())
+	}
+
+	// An empty histogram round-trips to an empty histogram.
+	var empty Histogram
+	data, err = empty.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotEmpty Histogram
+	if err := gotEmpty.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if gotEmpty.Count() != 0 {
+		t.Fatalf("empty round trip: %+v", gotEmpty)
+	}
+	gotEmpty.Observe(2) // still usable after decoding
+	if gotEmpty.Count() != 1 {
+		t.Fatal("observe after decode")
+	}
+}
+
 func TestHistogramRender(t *testing.T) {
 	var h Histogram
 	for i := 0; i < 10; i++ {

@@ -1,0 +1,134 @@
+package runner
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// cacheVersion participates in every cache key: bumping it invalidates
+// all entries at once. Bump it when the meaning of cached results changes
+// (e.g. a simulation-model fix that alters outputs without any config
+// change).
+const cacheVersion = "iobehind-runner-v1"
+
+// Cache memoizes completed sweep points on disk. Entries are gob files
+// named by a SHA-256 over (cache version, point key, canonical JSON of
+// the point's config), so any configuration change — strategy,
+// tolerances, rank count, file-system config, workload parameters —
+// produces a different key and the stale entry is simply never read
+// again. Unreadable or corrupt entries count as misses and are
+// recomputed and overwritten, never trusted.
+//
+// A Cache is safe for concurrent use by one process. Concurrent writers
+// of the same key are benign: writes go to unique temp files and are
+// renamed into place atomically, and every entry for a key encodes the
+// same deterministic result.
+type Cache struct {
+	dir string
+
+	mu     sync.Mutex
+	hits   int
+	misses int
+	writes int
+	errs   int
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits   int // results served from disk
+	Misses int // lookups that fell through to a run
+	Writes int // entries stored
+	Errors int // read/write/decode failures (treated as misses)
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runner: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the hit/miss/write counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Writes: c.writes, Errors: c.errs}
+}
+
+// CacheKey derives the point's cache key: a hex SHA-256 over the cache
+// version, the point key, and the canonical JSON encoding of the config.
+func CacheKey(p Point) (string, error) {
+	cfg, err := json.Marshal(p.Config)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", cacheVersion, p.Key)
+	h.Write(cfg)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".gob")
+}
+
+// get loads the entry for key into a fresh value from alloc. Any failure
+// (absent, unreadable, undecodable) is a miss.
+func (c *Cache) get(key string, alloc func() any) (any, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.count(func() { c.misses++ })
+		return nil, false
+	}
+	into := alloc()
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(into); err != nil {
+		c.count(func() { c.misses++; c.errs++ })
+		return nil, false
+	}
+	c.count(func() { c.hits++ })
+	return into, true
+}
+
+// put stores v under key, atomically (temp file + rename). Failures are
+// recorded in the stats but otherwise ignored: a cache write error only
+// costs a future recomputation.
+func (c *Cache) put(key string, v any) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		c.count(func() { c.errs++ })
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		c.count(func() { c.errs++ })
+		return
+	}
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), c.path(key)) != nil {
+		os.Remove(tmp.Name())
+		c.count(func() { c.errs++ })
+		return
+	}
+	c.count(func() { c.writes++ })
+}
+
+func (c *Cache) count(f func()) {
+	c.mu.Lock()
+	f()
+	c.mu.Unlock()
+}

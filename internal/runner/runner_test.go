@@ -1,0 +1,371 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// payload is a gob-friendly test result.
+type payload struct {
+	N int
+	S string
+}
+
+func intPoint(i int, cfg any) Point {
+	return Point{
+		Key:    fmt.Sprintf("p%03d", i),
+		Config: cfg,
+		New:    func() any { return new(payload) },
+		Run: func(context.Context) (any, error) {
+			return &payload{N: i * i, S: fmt.Sprintf("v%d", i)}, nil
+		},
+	}
+}
+
+func TestRunPreservesInputOrder(t *testing.T) {
+	// Points finish in shuffled order (later points sleep less), but the
+	// results must land at their input indices.
+	const n = 32
+	points := make([]Point, n)
+	for i := 0; i < n; i++ {
+		i := i
+		points[i] = Point{
+			Key: fmt.Sprintf("p%d", i),
+			Run: func(context.Context) (any, error) {
+				time.Sleep(time.Duration(n-i) * time.Millisecond / 4)
+				return i, nil
+			},
+		}
+	}
+	results, err := New(Options{Workers: 8}).Run(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil || res.Value.(int) != i {
+			t.Fatalf("result %d = %+v", i, res)
+		}
+	}
+}
+
+func TestSerialMatchesParallel(t *testing.T) {
+	points := make([]Point, 16)
+	for i := range points {
+		points[i] = intPoint(i, map[string]int{"i": i})
+	}
+	serial, err := Serial().Run(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(Options{Workers: 8}).Run(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		a, b := serial[i].Value.(*payload), parallel[i].Value.(*payload)
+		if *a != *b {
+			t.Fatalf("point %d: serial %+v vs parallel %+v", i, a, b)
+		}
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	points := []Point{
+		{Key: "ok1", Run: func(context.Context) (any, error) { return 1, nil }},
+		{Key: "boom", Run: func(context.Context) (any, error) { panic("kaboom") }},
+		{Key: "ok2", Run: func(context.Context) (any, error) { return 2, nil }},
+	}
+	results, err := New(Options{Workers: 2}).Run(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("neighbors of the panicking point failed: %+v", results)
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("want PanicError, got %v", results[1].Err)
+	}
+	if pe.Key != "boom" || !strings.Contains(pe.Error(), "kaboom") {
+		t.Fatalf("panic error = %v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	if got := FirstErr(results); got != results[1].Err {
+		t.Fatalf("FirstErr = %v", got)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var ran atomic.Int32
+	points := []Point{
+		{Key: "first", Run: func(context.Context) (any, error) {
+			close(started)
+			ran.Add(1)
+			<-ctx.Done() // hold the single worker until cancelled
+			return nil, ctx.Err()
+		}},
+		{Key: "second", Run: func(context.Context) (any, error) {
+			ran.Add(1)
+			return 2, nil
+		}},
+		{Key: "third", Run: func(context.Context) (any, error) {
+			ran.Add(1)
+			return 3, nil
+		}},
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	results, err := Serial().Run(ctx, points)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("ran %d points after cancellation", ran.Load())
+	}
+	for i := 1; i < 3; i++ {
+		if !errors.Is(results[i].Err, context.Canceled) {
+			t.Fatalf("result %d = %+v", i, results[i])
+		}
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int32
+	mk := func() []Point {
+		points := make([]Point, 8)
+		for i := range points {
+			i := i
+			points[i] = Point{
+				Key:    fmt.Sprintf("pt%d", i),
+				Config: map[string]int{"i": i},
+				New:    func() any { return new(payload) },
+				Run: func(context.Context) (any, error) {
+					runs.Add(1)
+					return &payload{N: i, S: "fresh"}, nil
+				},
+			}
+		}
+		return points
+	}
+	r := New(Options{Workers: 4, Cache: cache})
+
+	cold, err := r.Run(context.Background(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CachedCount(cold); got != 0 {
+		t.Fatalf("cold run: %d cached", got)
+	}
+	if runs.Load() != 8 {
+		t.Fatalf("cold run executed %d points", runs.Load())
+	}
+
+	warm, err := r.Run(context.Background(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CachedCount(warm); got != 8 {
+		t.Fatalf("warm run: only %d cached", got)
+	}
+	if runs.Load() != 8 {
+		t.Fatalf("warm run recomputed: %d executions", runs.Load())
+	}
+	for i := range warm {
+		a, b := cold[i].Value.(*payload), warm[i].Value.(*payload)
+		if *a != *b {
+			t.Fatalf("point %d: cold %+v vs warm %+v", i, a, b)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits != 8 || st.Misses != 8 || st.Writes != 8 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheInvalidatesOnConfigChange(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{Workers: 1, Cache: cache})
+	run := func(tol float64) *payload {
+		points := []Point{{
+			Key:    "single",
+			Config: map[string]float64{"tol": tol},
+			New:    func() any { return new(payload) },
+			Run: func(context.Context) (any, error) {
+				return &payload{N: int(tol * 10)}, nil
+			},
+		}}
+		results, err := r.Run(context.Background(), points)
+		if err != nil || results[0].Err != nil {
+			t.Fatalf("run: %v %v", err, results[0].Err)
+		}
+		return results[0].Value.(*payload)
+	}
+	if run(1.1).N != 11 {
+		t.Fatal("first run")
+	}
+	if got := run(2.0); got.N != 20 {
+		t.Fatalf("changed config served stale value %+v", got)
+	}
+	if st := cache.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Unchanged config hits.
+	if run(2.0).N != 20 {
+		t.Fatal("warm hit")
+	}
+	if st := cache.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheToleratesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := Point{
+		Key:    "c",
+		Config: 7,
+		New:    func() any { return new(payload) },
+		Run:    func(context.Context) (any, error) { return &payload{N: 7}, nil },
+	}
+	key, err := CacheKey(point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".gob"), []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{Workers: 1, Cache: cache})
+	results, err := r.Run(context.Background(), []Point{point})
+	if err != nil || results[0].Err != nil {
+		t.Fatalf("run: %v %v", err, results[0].Err)
+	}
+	if results[0].Cached {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if results[0].Value.(*payload).N != 7 {
+		t.Fatalf("value = %+v", results[0].Value)
+	}
+	// The corrupt entry was overwritten; the next run hits.
+	results, err = r.Run(context.Background(), []Point{point})
+	if err != nil || !results[0].Cached {
+		t.Fatalf("recovery run: %v %+v", err, results[0])
+	}
+}
+
+func TestCacheKeyStability(t *testing.T) {
+	p := Point{Key: "k", Config: struct {
+		Ranks int
+		Tol   float64
+	}{96, 1.1}}
+	a, err := CacheKey(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := CacheKey(p)
+	if a != b {
+		t.Fatal("key not stable")
+	}
+	p.Config = struct {
+		Ranks int
+		Tol   float64
+	}{96, 1.2}
+	c, _ := CacheKey(p)
+	if c == a {
+		t.Fatal("config change did not change the key")
+	}
+	p.Key = "other"
+	d, _ := CacheKey(p)
+	if d == c {
+		t.Fatal("point key does not participate")
+	}
+	if _, err := CacheKey(Point{Key: "bad", Config: func() {}}); err == nil {
+		t.Fatal("unmarshalable config must error")
+	}
+}
+
+func TestPointWithNilNewSkipsCache(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{Workers: 1, Cache: cache})
+	var runs int
+	point := Point{
+		Key:    "nocache",
+		Config: 1,
+		Run: func(context.Context) (any, error) {
+			runs++
+			return runs, nil
+		},
+	}
+	for i := 1; i <= 2; i++ {
+		results, err := r.Run(context.Background(), []Point{point})
+		if err != nil || results[0].Err != nil {
+			t.Fatalf("run %d: %v %v", i, err, results[0].Err)
+		}
+		if results[0].Cached || results[0].Value.(int) != i {
+			t.Fatalf("run %d: %+v", i, results[0])
+		}
+	}
+	if st := cache.Stats(); st.Writes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRunEmptyAndDefaults(t *testing.T) {
+	results, err := New(Options{}).Run(context.Background(), nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty run: %v %v", results, err)
+	}
+	if w := New(Options{Workers: -3}).Workers(); w < 1 {
+		t.Fatalf("workers = %d", w)
+	}
+	if Serial().Workers() != 1 || Serial().Cache() != nil {
+		t.Fatal("serial runner shape")
+	}
+	if _, err := OpenCache(""); err == nil {
+		t.Fatal("empty cache dir must error")
+	}
+}
+
+func TestPointErrorDoesNotStopSweep(t *testing.T) {
+	wantErr := errors.New("point failed")
+	points := []Point{
+		{Key: "a", Run: func(context.Context) (any, error) { return nil, wantErr }},
+		{Key: "b", Run: func(context.Context) (any, error) { return "ok", nil }},
+	}
+	results, err := New(Options{Workers: 1}).Run(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, wantErr) || results[1].Err != nil {
+		t.Fatalf("results = %+v", results)
+	}
+	if CachedCount(results) != 0 {
+		t.Fatal("cached count")
+	}
+}

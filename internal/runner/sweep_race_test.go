@@ -1,0 +1,108 @@
+package runner_test
+
+// The race-detector sweep: real experiment points (not synthetic
+// payloads) from two different figures run concurrently through one
+// worker pool, exercising the full DES → mpi → mpiio/adio → tmio stack
+// under `go test -race ./internal/runner/...`. The assertion is the
+// system's core contract: the parallel sweep's rendered figures are
+// byte-identical to the serial path's.
+
+import (
+	"context"
+	"testing"
+
+	"iobehind/internal/experiments"
+	"iobehind/internal/runner"
+)
+
+func TestConcurrentSweepMatchesSerialRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-scale sweep")
+	}
+	figs := []string{"1", "5"}
+
+	// Serial reference, one figure at a time — the historical path.
+	want := make(map[string]string, len(figs))
+	for _, fig := range figs {
+		exp, ok := experiments.ByFig(fig, experiments.Quick)
+		if !ok {
+			t.Fatalf("figure %s missing", fig)
+		}
+		res, err := experiments.RunExperiment(context.Background(), runner.Serial(), exp)
+		if err != nil {
+			t.Fatalf("serial figure %s: %v", fig, err)
+		}
+		want[fig] = res.Render()
+	}
+
+	// One flat sweep: both figures' points interleaved across 8 workers.
+	var points []runner.Point
+	type slot struct {
+		fig      string
+		exp      *experiments.Experiment
+		from, to int
+	}
+	var slots []slot
+	for _, fig := range figs {
+		exp, _ := experiments.ByFig(fig, experiments.Quick)
+		slots = append(slots, slot{fig: fig, exp: exp, from: len(points), to: len(points) + len(exp.Points)})
+		points = append(points, exp.Points...)
+	}
+	r := runner.New(runner.Options{Workers: 8})
+	results, err := r.Run(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range slots {
+		res, err := s.exp.Assemble(results[s.from:s.to])
+		if err != nil {
+			t.Fatalf("assemble figure %s: %v", s.fig, err)
+		}
+		if got := res.Render(); got != want[s.fig] {
+			t.Errorf("figure %s: concurrent render differs from serial:\n--- serial ---\n%s\n--- concurrent ---\n%s",
+				s.fig, want[s.fig], got)
+		}
+	}
+}
+
+func TestConcurrentSweepWithCacheMatchesSerialRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-scale sweep")
+	}
+	exp, ok := experiments.ByFig("5", experiments.Quick)
+	if !ok {
+		t.Fatal("figure 5 missing")
+	}
+	serial, err := experiments.RunExperiment(context.Background(), runner.Serial(), exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Render()
+
+	cache, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runner.New(runner.Options{Workers: 4, Cache: cache})
+	passes := []struct {
+		name       string
+		wantCached int
+	}{{"cold", 0}, {"warm", len(exp.Points)}}
+	for _, p := range passes {
+		pass, wantCached := p.name, p.wantCached
+		results, err := r.Run(context.Background(), exp.Points)
+		if err != nil {
+			t.Fatalf("%s pass: %v", pass, err)
+		}
+		if got := runner.CachedCount(results); got != wantCached {
+			t.Fatalf("%s pass: %d points cached, want %d", pass, got, wantCached)
+		}
+		res, err := exp.Assemble(results)
+		if err != nil {
+			t.Fatalf("%s pass: %v", pass, err)
+		}
+		if res.Render() != want {
+			t.Fatalf("%s pass: render differs from serial", pass)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 // MPI-IO/ADIO layer with the bandwidth-limiting I/O agents, and the TMIO
 // tracer, and runs workloads against them.
 //
-// Minimal use:
+// Minimal use — one traced simulation:
 //
 //	sim := iobehind.NewSim(iobehind.Options{
 //	    Ranks:    96,
@@ -19,6 +19,24 @@
 // bandwidths B_ij and throughputs T_ij, the application-level step series
 // B, B_L and T (Eq. 3), the time-distribution breakdown of Figs. 6/7/11,
 // and the tracing overhead split into its peri- and post-runtime parts.
+//
+// Because every simulation is a pure function of its seed and
+// configuration, independent runs parallelize trivially. The experiment
+// suite decomposes each paper figure into independent sweep points and
+// fans them across a worker pool with disk-cached results
+// (internal/runner); rendered output is byte-identical to the serial
+// path. Parallel-sweep quickstart:
+//
+//	r := runner.New(runner.Options{Workers: 8, Cache: cache}) // cache optional
+//	res, err := experiments.Fig05With(ctx, experiments.Quick, r)
+//	fmt.Print(res.Render())
+//
+// or, from the command line:
+//
+//	go run ./cmd/iosweep -figs 1,5,8 -scale quick -j 8 -cache .iosweep-cache
+//
+// See docs/ARCHITECTURE.md for the package map and docs/TUTORIAL.md for a
+// walk-through.
 package iobehind
 
 import (
