@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench sweep ci clean
+.PHONY: all build vet test race bench sweep gateway-smoke ci clean
 
 all: ci
 
@@ -18,9 +18,16 @@ test:
 
 # The race-detector sweep: real Fig. 1 + Fig. 5 experiment points run
 # concurrently through the worker pool (internal/runner/sweep_race_test.go),
-# asserting byte-identical rendered output vs. the serial path.
+# asserting byte-identical rendered output vs. the serial path, plus the
+# telemetry gateway's concurrent ingest/query/shutdown paths.
 race:
-	$(GO) test -race ./internal/runner/...
+	$(GO) test -race ./internal/runner/... ./internal/gateway/...
+
+# End-to-end gateway check on ephemeral ports: gateway up, one traced
+# simulation streamed in over TCP, HTTP surface probed for series and a
+# next-burst forecast.
+gateway-smoke:
+	$(GO) run ./cmd/iogateway -smoke
 
 # Figure benchmarks with the paper's headline metrics, plus the
 # serial-vs-parallel-vs-warm-cache sweep comparison.

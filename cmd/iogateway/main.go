@@ -1,0 +1,198 @@
+// Command iogateway runs the live telemetry gateway: a long-running
+// collector that accepts TMIO stream connections (JSON lines over TCP),
+// aggregates each application's B/B_L/T series online, and serves them —
+// plus FTIO next-burst predictions and Prometheus metrics — over HTTP:
+//
+//	iogateway -listen :9007 -http :9008
+//
+// Traced applications point tmio.DialSink at the -listen address;
+// schedulers and dashboards query the -http address:
+//
+//	GET /healthz              liveness
+//	GET /metrics              Prometheus text exposition
+//	GET /apps                 applications seen so far
+//	GET /apps/{id}/series     online B/B_L/T step series
+//	GET /apps/{id}/predict    FTIO next-burst forecast
+//
+// With -smoke the command instead runs a self-contained end-to-end check
+// on ephemeral ports — gateway up, one traced simulation streamed in,
+// HTTP surface probed — and exits 0/1. Used by `make gateway-smoke`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iobehind"
+	"iobehind/internal/gateway"
+	"iobehind/internal/tmio"
+)
+
+func main() {
+	listen := flag.String("listen", ":9007", "TCP address for TMIO stream ingest")
+	httpAddr := flag.String("http", ":9008", "HTTP address for queries and metrics")
+	queue := flag.Int("queue", 1024, "per-connection record queue depth")
+	smoke := flag.Bool("smoke", false, "run a self-contained end-to-end check and exit")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*queue); err != nil {
+			fmt.Fprintln(os.Stderr, "iogateway smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("iogateway smoke: OK")
+		return
+	}
+
+	logger := log.New(os.Stderr, "iogateway: ", log.LstdFlags)
+	srv := gateway.New(gateway.Config{
+		QueueDepth: *queue,
+		Logf:       logger.Printf,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	web := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
+
+	errs := make(chan error, 2)
+	go func() { errs <- srv.Serve(ln) }()
+	go func() { errs <- web.ListenAndServe() }()
+	logger.Printf("ingest on %s, HTTP on %s", ln.Addr(), *httpAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("%v: draining", s)
+	case err := <-errs:
+		logger.Printf("server failed: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	web.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Fatal(err)
+	}
+	st := srv.Stats()
+	logger.Printf("done: %d conns, %d records ingested, %d dropped",
+		st.ConnsTotal, st.Ingested, st.Dropped)
+}
+
+// runSmoke exercises the whole pipeline in-process: gateway on ephemeral
+// ports, a traced phased simulation streaming into it, and the HTTP
+// surface queried for the resulting series and forecast.
+func runSmoke(queue int) error {
+	srv := gateway.New(gateway.Config{QueueDepth: queue})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	web := &http.Server{Handler: srv.Handler()}
+	webLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go web.Serve(webLn)
+	base := "http://" + webLn.Addr().String()
+
+	// One periodic checkpointing app, streamed live. A slow file system
+	// gives the write bursts real width (~250 ms in each ~2 s period), so
+	// the binned FTIO signal sees them.
+	sim := iobehind.NewSim(iobehind.Options{
+		Ranks: 4,
+		FS:    &iobehind.FSConfig{WriteCapacity: 256e6, ReadCapacity: 256e6},
+	})
+	sink, err := tmio.DialSinkWith(ln.Addr().String(), tmio.SinkOptions{AppID: "smoke"})
+	if err != nil {
+		return err
+	}
+	sim.Tracer.SetSink(sink)
+	if _, err := sim.Run(iobehind.PhasedMain(sim.IO, iobehind.PhasedConfig{
+		Phases:        10,
+		BytesPerPhase: 16 << 20,
+		Compute:       2 * iobehind.Second,
+	})); err != nil {
+		return err
+	}
+	if err := sink.Close(); err != nil {
+		return fmt.Errorf("sink close: %w", err)
+	}
+
+	// Wait for the ingest side to drain the connection.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if info, ok := srv.AppInfo("smoke"); ok && info.Records > 0 && srv.Stats().ConnsActive == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("records never arrived: %+v", srv.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) (string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: %d %s", path, resp.StatusCode, body)
+		}
+		return string(body), nil
+	}
+	if _, err := get("/healthz"); err != nil {
+		return err
+	}
+	if _, err := get("/metrics"); err != nil {
+		return err
+	}
+	body, err := get("/apps/smoke/series")
+	if err != nil {
+		return err
+	}
+	var series struct {
+		B []struct{ T, V float64 } `json:"b"`
+	}
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		return fmt.Errorf("series JSON: %w", err)
+	}
+	if len(series.B) == 0 {
+		return fmt.Errorf("empty B series: %s", body)
+	}
+	body, err = get("/apps/smoke/predict")
+	if err != nil {
+		return err
+	}
+	var pred gateway.PredictJSON
+	if err := json.Unmarshal([]byte(body), &pred); err != nil {
+		return fmt.Errorf("predict JSON: %w", err)
+	}
+	if !pred.OK {
+		return fmt.Errorf("no forecast for a periodic app: %s", body)
+	}
+	fmt.Printf("  app %q: %d B-series steps, period %.2f s (confidence %.2f)\n",
+		"smoke", len(series.B), pred.PeriodSec, pred.Confidence)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	web.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-served
+}

@@ -100,6 +100,16 @@ type Config struct {
 	MonitorInterval des.Duration
 	// Scheduler selects the queueing discipline. Defaults to FCFS.
 	Scheduler SchedulerPolicy
+	// Forecasts, when set, supplies burst forecasts for synchronous jobs
+	// from an external source — e.g. a telemetry gateway's
+	// /apps/{id}/predict endpoint (internal/gateway.PredictClient) —
+	// instead of in-process FTIO detection. Under LimitPredictive each
+	// monitor tick consults it per synchronous job; returning ok=false
+	// falls back to the in-process detector for that job. This is the
+	// paper's TMIO → FTIO → scheduler loop closed over a real network
+	// boundary. Excluded from JSON so configs stay hashable as sweep
+	// cache keys (a func is runtime wiring, not point identity).
+	Forecasts func(job int, now des.Time) (sched.Forecast, bool) `json:"-"`
 	// Debug prints monitor decisions.
 	Debug bool
 }
@@ -486,6 +496,12 @@ func (s *simulation) refreshForecasts(now des.Time) {
 	for id, j := range s.jobs {
 		if j.spec.Async || !s.running[id] {
 			continue
+		}
+		if s.cfg.Forecasts != nil {
+			if f, ok := s.cfg.Forecasts(id, now); ok {
+				s.arbiter.SetForecast(id, f)
+				continue
+			}
 		}
 		start := s.res.Jobs[id].Started
 		span := now.Sub(start)

@@ -1,0 +1,73 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"iobehind/internal/des"
+	"iobehind/internal/sched"
+)
+
+// PredictClient consumes a gateway's /apps/{id}/predict endpoint and
+// turns the answers into scheduler forecasts — the consumer side of the
+// paper's TMIO → FTIO → scheduler loop, over a real network boundary.
+// internal/cluster's Config.Forecasts can be wired straight to
+// ForecastFunc.
+type PredictClient struct {
+	// BaseURL is the gateway's HTTP root, e.g. "http://127.0.0.1:9008".
+	BaseURL string
+	// HTTP is the client used for requests; defaults to one with a 2s
+	// timeout (a scheduler must not hang on its telemetry source).
+	HTTP *http.Client
+}
+
+// NewPredictClient creates a client with the default timeout.
+func NewPredictClient(baseURL string) *PredictClient {
+	return &PredictClient{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 2 * time.Second},
+	}
+}
+
+// Predict fetches the app's forecast at virtual time now (now <= 0 lets
+// the gateway use the app's latest activity). ok is false on any network
+// error, unknown app, or low-confidence answer: a scheduler treats all
+// three the same way — fall back to reactive behaviour.
+func (c *PredictClient) Predict(app string, now des.Time) (sched.Forecast, bool) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 2 * time.Second}
+	}
+	u := fmt.Sprintf("%s/apps/%s/predict", c.BaseURL, url.PathEscape(app))
+	if now > 0 {
+		u += fmt.Sprintf("?now=%g", now.Seconds())
+	}
+	resp, err := httpc.Get(u)
+	if err != nil {
+		return sched.Forecast{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sched.Forecast{}, false
+	}
+	var p PredictJSON
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil || !p.OK {
+		return sched.Forecast{}, false
+	}
+	return sched.Forecast{
+		Period:    des.DurationOf(p.PeriodSec),
+		BurstLen:  des.DurationOf(p.BurstLenSec),
+		LastBurst: timeOf(p.LastBurstSec),
+	}, true
+}
+
+// ForecastFunc adapts the client to internal/cluster's Config.Forecasts
+// signature, naming apps by the given function (e.g. job 0 → "job0").
+func (c *PredictClient) ForecastFunc(appID func(job int) string) func(int, des.Time) (sched.Forecast, bool) {
+	return func(job int, now des.Time) (sched.Forecast, bool) {
+		return c.Predict(appID(job), now)
+	}
+}

@@ -1,0 +1,292 @@
+// Package gateway implements the collector half of TMIO's streaming mode:
+// a long-running telemetry service that accepts many concurrent TCP
+// connections speaking the JSON-lines tmio.StreamRecord protocol,
+// aggregates each application's rank phases online (the Eq. 3 sweep and
+// FTIO period detection run *while* the applications run), and serves the
+// results over HTTP — per-app B/B_L/T step series, next-burst predictions,
+// and Prometheus metrics.
+//
+// The paper ships TMIO metrics off-node precisely so FTIO and the I/O
+// scheduler can act on them mid-run; this package is that off-node side.
+// internal/cluster's predictive limiter can consume the gateway's
+// forecasts through Config.Forecasts, closing the TMIO → FTIO → scheduler
+// loop over a real network boundary.
+//
+// Ingest is built for graceful degradation, never unbounded growth: each
+// connection gets its own reader goroutine, a bounded record queue with
+// drop-oldest backpressure, and a read deadline; shutdown stops accepting,
+// unblocks readers, and drains every queue before returning.
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iobehind/internal/tmio"
+)
+
+// Config tunes the gateway. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// QueueDepth bounds each connection's in-flight record queue. When
+	// the aggregator falls behind, the oldest queued record is dropped
+	// and counted rather than growing without bound. Defaults to 1024.
+	QueueDepth int
+	// ReadTimeout is the per-read deadline on ingest connections; a
+	// silent peer is cut after this long. Defaults to 30s.
+	ReadTimeout time.Duration
+	// MaxLineBytes bounds one JSON line. Defaults to 1 MiB.
+	MaxLineBytes int
+	// FTIOBins is the DFT resolution for next-burst prediction.
+	// Defaults to 128.
+	FTIOBins int
+	// MinConfidence is the spectral-confidence floor below which Predict
+	// reports "no forecast". Defaults to 0.1.
+	MinConfidence float64
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+	if c.FTIOBins <= 0 {
+		c.FTIOBins = 128
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 0.1
+	}
+	return c
+}
+
+// Stats is a snapshot of the gateway's ingest counters (the numbers
+// behind /metrics).
+type Stats struct {
+	ConnsTotal   int64 // connections ever accepted
+	ConnsActive  int64 // currently open
+	Ingested     int64 // records aggregated
+	Dropped      int64 // records discarded by queue backpressure
+	DecodeErrors int64 // lines that failed to parse
+	Apps         int   // distinct applications seen
+}
+
+// Server is the telemetry gateway. Create with New, feed it with Serve
+// (TCP ingest) and Handler (HTTP query surface), stop with Shutdown.
+type Server struct {
+	cfg Config
+	reg registry
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	connSeq      atomic.Int64
+	connsTotal   atomic.Int64
+	connsActive  atomic.Int64
+	ingested     atomic.Int64
+	dropped      atomic.Int64
+	decodeErrors atomic.Int64
+
+	// ingestHook, when non-nil, runs before each record is aggregated;
+	// tests use it to simulate a slow aggregator.
+	ingestHook func()
+}
+
+// New creates a gateway server.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	s.reg.init()
+	return s
+}
+
+// Serve accepts ingest connections on ln until Shutdown (which returns
+// nil here) or a listener error. Each connection is handled on its own
+// goroutines.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		s.connsActive.Add(1)
+		go s.handle(c)
+	}
+}
+
+// Shutdown stops accepting, unblocks in-flight readers, and waits for
+// every connection's queue to drain. If ctx expires first, remaining
+// connections are force-closed and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Expire pending reads; queued records still drain through the
+	// consumers before handle() returns.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the ingest counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := int64(len(s.conns))
+	s.mu.Unlock()
+	return Stats{
+		ConnsTotal:   s.connsTotal.Load(),
+		ConnsActive:  active,
+		Ingested:     s.ingested.Load(),
+		Dropped:      s.dropped.Load(),
+		DecodeErrors: s.decodeErrors.Load(),
+		Apps:         s.reg.len(),
+	}
+}
+
+// handle runs one ingest connection: a reader goroutine (this one) that
+// parses lines into a bounded queue with drop-oldest backpressure, and a
+// consumer goroutine that feeds the aggregation registry. The consumer
+// always drains the queue before the connection is released, so shutdown
+// never discards records that were already accepted.
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.connsActive.Add(-1)
+		c.Close()
+	}()
+
+	// Records without an App field (a run that predates the identifier,
+	// or a single-run tracer with no StreamID) demultiplex by connection.
+	fallbackID := fmt.Sprintf("conn-%d", s.connSeq.Add(1))
+
+	queue := make(chan tmio.StreamRecord, s.cfg.QueueDepth)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for rec := range queue {
+			if s.ingestHook != nil {
+				s.ingestHook()
+			}
+			s.reg.ingest(rec, fallbackID)
+			s.ingested.Add(1)
+		}
+	}()
+
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64<<10), s.cfg.MaxLineBytes)
+	for {
+		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				s.logf("gateway: %s: read: %v", fallbackID, err)
+			}
+			break
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec tmio.StreamRecord
+		// Unknown fields (and future schema versions) are tolerated by
+		// construction: encoding/json ignores what it does not know.
+		if err := json.Unmarshal(line, &rec); err != nil {
+			s.decodeErrors.Add(1)
+			continue
+		}
+		select {
+		case queue <- rec:
+		default:
+			// Queue full: drop the oldest queued record to admit the
+			// newest (fresh telemetry is worth more than stale).
+			select {
+			case <-queue:
+				s.dropped.Add(1)
+			default:
+			}
+			select {
+			case queue <- rec:
+			default:
+				s.dropped.Add(1)
+			}
+		}
+	}
+	close(queue)
+	<-drained
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,289 @@
+package gateway
+
+import (
+	"sort"
+	"sync"
+
+	"iobehind/internal/des"
+	"iobehind/internal/ftio"
+	"iobehind/internal/metrics"
+	"iobehind/internal/region"
+	"iobehind/internal/sched"
+	"iobehind/internal/tmio"
+)
+
+// timeOf converts a streamed seconds value back into virtual time.
+// Negative inputs clamp to zero (virtual time starts at 0).
+func timeOf(sec float64) des.Time { return des.Time(des.DurationOf(sec)) }
+
+// RecordPhase converts a streamed record into its required-bandwidth
+// region phase — the exact input the offline report feeds region.Sweep,
+// so online and offline aggregation over the same records agree
+// point-for-point.
+func RecordPhase(rec tmio.StreamRecord) region.Phase {
+	return region.Phase{
+		Rank:  rec.Rank,
+		Index: rec.Phase,
+		Start: timeOf(rec.TsSec),
+		End:   timeOf(rec.TeSec),
+		Value: rec.B,
+	}
+}
+
+// RecordLimitPhase converts a record's applied-limit measurement (B_L).
+// ok is false when the phase carried no limit.
+func RecordLimitPhase(rec tmio.StreamRecord) (region.Phase, bool) {
+	if rec.BL <= 0 {
+		return region.Phase{}, false
+	}
+	ph := RecordPhase(rec)
+	ph.Value = rec.BL
+	return ph, true
+}
+
+// RecordThroughputPhase converts a record's transfer window (T). ok is
+// false when the record carries no completed-transfer window.
+func RecordThroughputPhase(rec tmio.StreamRecord) (region.Phase, bool) {
+	if rec.T <= 0 || rec.TteSec <= rec.TtsSec {
+		return region.Phase{}, false
+	}
+	return region.Phase{
+		Rank:  rec.Rank,
+		Index: rec.Phase,
+		Start: timeOf(rec.TtsSec),
+		End:   timeOf(rec.TteSec),
+		Value: rec.T,
+	}, true
+}
+
+// appState is one application's live aggregation. Its mutex serializes
+// the per-connection consumer goroutines feeding it against HTTP queries
+// reading it (region.OnlineSweep itself is not goroutine-safe).
+type appState struct {
+	mu      sync.Mutex
+	id      string
+	b       *region.OnlineSweep
+	bl      *region.OnlineSweep
+	t       *region.OnlineSweep
+	bPhases []region.Phase // activity signal for FTIO detection
+	tPhases []region.Phase // actual burst windows
+	records int64
+	version int
+	lastTe  des.Time
+}
+
+// registry demultiplexes records into per-app state.
+type registry struct {
+	mu   sync.Mutex
+	apps map[string]*appState
+}
+
+func (r *registry) init() { r.apps = make(map[string]*appState) }
+
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.apps)
+}
+
+func (r *registry) get(id string) (*appState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[id]
+	return st, ok
+}
+
+func (r *registry) getOrCreate(id string) *appState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[id]
+	if !ok {
+		st = &appState{
+			id: id,
+			b:  region.NewOnlineSweep("B"),
+			bl: region.NewOnlineSweep("B_L"),
+			t:  region.NewOnlineSweep("T"),
+		}
+		r.apps[id] = st
+	}
+	return st
+}
+
+func (r *registry) ids() []string {
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.apps))
+	for id := range r.apps {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// ingest demultiplexes one record (by its App field, falling back to the
+// connection identity) and feeds the app's online sweeps.
+func (r *registry) ingest(rec tmio.StreamRecord, fallbackID string) {
+	id := rec.App
+	if id == "" {
+		id = fallbackID
+	}
+	st := r.getOrCreate(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.records++
+	if rec.V > st.version {
+		st.version = rec.V
+	}
+	ph := RecordPhase(rec)
+	if ph.End > ph.Start {
+		st.b.Add(ph)
+		st.bPhases = append(st.bPhases, ph)
+		if ph.End > st.lastTe {
+			st.lastTe = ph.End
+		}
+	}
+	if blPh, ok := RecordLimitPhase(rec); ok {
+		st.bl.Add(blPh)
+	}
+	if tPh, ok := RecordThroughputPhase(rec); ok {
+		st.t.Add(tPh)
+		st.tPhases = append(st.tPhases, tPh)
+	}
+}
+
+// AppInfo summarizes one application's live state.
+type AppInfo struct {
+	ID string
+	// Records ingested so far.
+	Records int64
+	// Version is the highest schema version seen from this app.
+	Version int
+	// RequiredBandwidth is the current max of the online B sweep.
+	RequiredBandwidth float64
+	// LastActivity is the end of the latest phase window seen.
+	LastActivity des.Time
+}
+
+// Apps lists the applications seen so far, sorted by ID.
+func (s *Server) Apps() []AppInfo {
+	ids := s.reg.ids()
+	infos := make([]AppInfo, 0, len(ids))
+	for _, id := range ids {
+		if info, ok := s.AppInfo(id); ok {
+			infos = append(infos, info)
+		}
+	}
+	return infos
+}
+
+// AppInfo returns one application's summary.
+func (s *Server) AppInfo(id string) (AppInfo, bool) {
+	st, ok := s.reg.get(id)
+	if !ok {
+		return AppInfo{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return AppInfo{
+		ID:                st.id,
+		Records:           st.records,
+		Version:           st.version,
+		RequiredBandwidth: st.b.Max(),
+		LastActivity:      st.lastTe,
+	}, true
+}
+
+// AppSeries is a snapshot of one application's online step series.
+type AppSeries struct {
+	ID string
+	// B is the Eq. 3 required-bandwidth sweep, B_L the applied-limit
+	// sweep, T the achieved-throughput sweep — the same three series the
+	// offline report derives, available mid-run.
+	B, BL, T *metrics.Series
+}
+
+// AppSeries snapshots the application's B/B_L/T series. Later ingests do
+// not mutate the returned series.
+func (s *Server) AppSeries(id string) (AppSeries, bool) {
+	st, ok := s.reg.get(id)
+	if !ok {
+		return AppSeries{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return AppSeries{
+		ID: st.id,
+		B:  st.b.Series(),
+		BL: st.bl.Series(),
+		T:  st.t.Series(),
+	}, true
+}
+
+// Prediction is a next-burst forecast for one application, derived from
+// FTIO period detection over the streamed phases.
+type Prediction struct {
+	App        string
+	Period     des.Duration
+	Frequency  float64
+	Confidence float64
+	// BurstLen is the mean transfer-window length (falling back to the
+	// mean phase window when no transfer windows were streamed).
+	BurstLen des.Duration
+	// LastBurst is the start of the most recent observed burst; Next is
+	// the first predicted burst strictly after the query time.
+	LastBurst des.Time
+	Next      des.Time
+}
+
+// Forecast converts the prediction into the scheduler's forecast form.
+func (p Prediction) Forecast() sched.Forecast {
+	return sched.Forecast{Period: p.Period, BurstLen: p.BurstLen, LastBurst: p.LastBurst}
+}
+
+// Predict runs FTIO period detection over everything streamed for the
+// app so far and forecasts the first burst after now (now <= 0 means
+// "the app's latest activity"). ok is false while the app is unknown,
+// has too little history, or shows no confident periodicity.
+func (s *Server) Predict(id string, now des.Time) (Prediction, bool) {
+	st, ok := s.reg.get(id)
+	if !ok {
+		return Prediction{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Prefer the transfer windows as the activity signal: the actual
+	// bursts are sharply periodic, while the required-bandwidth windows
+	// tile the timeline (one per compute phase) and look near-constant
+	// to a DFT.
+	bursts := st.tPhases
+	if len(bursts) < 4 {
+		bursts = st.bPhases
+	}
+	if len(bursts) < 4 {
+		return Prediction{}, false
+	}
+	res, err := ftio.DetectPhases(bursts, s.cfg.FTIOBins)
+	if err != nil || res.Period <= 0 || res.Confidence < s.cfg.MinConfidence {
+		return Prediction{}, false
+	}
+	var last des.Time
+	var total des.Duration
+	for _, ph := range bursts {
+		if ph.Start > last {
+			last = ph.Start
+		}
+		total += ph.Duration()
+	}
+	if now <= 0 {
+		now = st.lastTe
+	}
+	return Prediction{
+		App:        st.id,
+		Period:     res.Period,
+		Frequency:  res.Frequency,
+		Confidence: res.Confidence,
+		BurstLen:   total / des.Duration(len(bursts)),
+		LastBurst:  last,
+		Next:       res.PredictNext(last, now),
+	}, true
+}

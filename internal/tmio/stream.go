@@ -1,72 +1,374 @@
 package tmio
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
+
+	"iobehind/internal/des"
 )
+
+// StreamVersion is the wire-format version stamped on every emitted
+// record. Decoders must tolerate records with a higher version (and any
+// unknown fields): the protocol only grows.
+const StreamVersion = 1
+
+// ErrSinkClosed is returned by Emit after Close.
+var ErrSinkClosed = errors.New("tmio: sink closed")
 
 // Sink receives metric records as they are produced, the stand-in for
 // TMIO's ZeroMQ/TCP streaming mode ("the library can also send the data
 // via TCP to avoid creating a file").
 type Sink interface {
 	// Emit delivers one metric record. Implementations must be safe to
-	// call from the simulation goroutines (which run one at a time).
+	// call from the simulation goroutines (which run one at a time) and
+	// must never block on the network: tracing cannot stall the traced
+	// application.
 	Emit(rec StreamRecord) error
 	Close() error
 }
 
 // StreamRecord is one rank-phase measurement, streamed as a JSON line.
+//
+// V is the schema version (StreamVersion); App identifies the
+// application/run so a collector can demultiplex several concurrent runs
+// arriving on one listener. Ts/Te bound the required-bandwidth window
+// (B is measured over it); Tts/Tte bound the actual transfer window of
+// the phase's completed requests (T is measured over it) and are absent
+// when no request had finished by the time the phase closed.
 type StreamRecord struct {
-	Rank  int     `json:"rank"`
-	Phase int     `json:"phase"`
-	TsSec float64 `json:"ts"`
-	TeSec float64 `json:"te"`
-	B     float64 `json:"b"`
-	BL    float64 `json:"bl,omitempty"`
+	V      int     `json:"v,omitempty"`
+	App    string  `json:"app,omitempty"`
+	Rank   int     `json:"rank"`
+	Phase  int     `json:"phase"`
+	TsSec  float64 `json:"ts"`
+	TeSec  float64 `json:"te"`
+	B      float64 `json:"b"`
+	BL     float64 `json:"bl,omitempty"`
+	T      float64 `json:"t,omitempty"`
+	TtsSec float64 `json:"tts,omitempty"`
+	TteSec float64 `json:"tte,omitempty"`
+}
+
+// SinkOptions tunes the TCP sink's buffering and reconnection behaviour.
+// The zero value selects the defaults noted on each field.
+type SinkOptions struct {
+	// AppID is stamped into every record's App field (unless the record
+	// already carries one), so one collector can tell concurrent runs
+	// apart.
+	AppID string
+	// BufferRecords bounds the in-memory queue that absorbs records while
+	// the collector is slow or down. When full, the oldest record is
+	// dropped and counted. Defaults to 4096.
+	BufferRecords int
+	// WriteTimeout bounds each flush to the collector; a stalled peer
+	// costs at most this much writer-goroutine time per batch (the
+	// emitting application is never the one waiting). Defaults to 5s.
+	WriteTimeout time.Duration
+	// DialTimeout bounds each (re)connection attempt. Defaults to 2s.
+	DialTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential reconnect backoff
+	// (jittered ±50%). Default 50ms / 5s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Seed drives the backoff jitter; defaults to 1 so tests are
+	// reproducible.
+	Seed int64
+}
+
+func (o SinkOptions) withDefaults() SinkOptions {
+	if o.BufferRecords <= 0 {
+		o.BufferRecords = 4096
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
 }
 
 // TCPSink streams JSON lines over a TCP connection.
+//
+// Emit never blocks on the network and never fails the application:
+// records go into a bounded in-memory queue that a background writer
+// flushes to the collector. If the connection drops, the writer redials
+// with exponential backoff and jitter (when the sink was created with an
+// address) while the queue keeps absorbing records; once the queue is
+// full the oldest records are dropped and counted — the tracer degrades,
+// it never stalls.
 type TCPSink struct {
-	mu   sync.Mutex
+	opts SinkOptions
+	addr string // redial target; empty when wrapping a foreign conn
+
+	mu      sync.Mutex
+	queue   []StreamRecord
+	dropped uint64
+	closed  bool
+	lastErr error
+
+	wake chan struct{} // 1-buffered doorbell for the writer
+	done chan struct{} // closed by Close
+	wg   sync.WaitGroup
+
+	// Writer-goroutine state (no lock needed after construction).
 	conn net.Conn
-	bw   *bufio.Writer
-	enc  *json.Encoder
+	rng  *rand.Rand
 }
 
-// DialSink connects to addr (e.g. "127.0.0.1:5555").
+// DialSink connects to addr (e.g. "127.0.0.1:5555") with default options.
 func DialSink(addr string) (*TCPSink, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialSinkWith(addr, SinkOptions{})
+}
+
+// DialSinkWith connects to addr with explicit options. The initial dial
+// is synchronous so an unreachable collector is reported immediately;
+// after that the sink reconnects on its own.
+func DialSinkWith(addr string, opts SinkOptions) (*TCPSink, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("tmio: dial sink: %w", err)
 	}
-	return NewTCPSink(conn), nil
+	s := newSink(conn, opts)
+	s.addr = addr
+	s.start()
+	return s, nil
 }
 
-// NewTCPSink wraps an established connection.
+// NewTCPSink wraps an established connection with default options. A
+// wrapped connection cannot be redialled: if it fails, the sink drops
+// records (counted by Dropped) instead of blocking.
 func NewTCPSink(conn net.Conn) *TCPSink {
-	bw := bufio.NewWriter(conn)
-	return &TCPSink{conn: conn, bw: bw, enc: json.NewEncoder(bw)}
+	return NewTCPSinkWith(conn, SinkOptions{})
 }
 
-// Emit implements Sink.
+// NewTCPSinkWith wraps an established connection with explicit options.
+func NewTCPSinkWith(conn net.Conn, opts SinkOptions) *TCPSink {
+	s := newSink(conn, opts.withDefaults())
+	s.start()
+	return s
+}
+
+func newSink(conn net.Conn, opts SinkOptions) *TCPSink {
+	return &TCPSink{
+		opts: opts,
+		conn: conn,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+func (s *TCPSink) start() {
+	s.wg.Add(1)
+	go s.writer()
+}
+
+// Emit implements Sink: it stamps the record and enqueues it, dropping
+// the oldest queued record when the buffer is full. It touches only the
+// in-memory queue, so the caller can never be blocked by the collector.
 func (s *TCPSink) Emit(rec StreamRecord) error {
+	if rec.V == 0 {
+		rec.V = StreamVersion
+	}
+	if rec.App == "" {
+		rec.App = s.opts.AppID
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSinkClosed
+	}
+	if len(s.queue) >= s.opts.BufferRecords {
+		over := len(s.queue) - s.opts.BufferRecords + 1
+		s.queue = append(s.queue[:0], s.queue[over:]...)
+		s.dropped += uint64(over)
+	}
+	s.queue = append(s.queue, rec)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Dropped returns how many records were discarded because the buffer
+// overflowed or a write failed mid-batch.
+func (s *TCPSink) Dropped() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.enc.Encode(rec)
+	return s.dropped
 }
 
-// Close flushes and closes the connection.
+// Close drains the queue (one final flush attempt, bounded by the dial
+// and write timeouts), stops the writer, and closes the connection. It
+// returns the last delivery error if records could not be flushed.
 func (s *TCPSink) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.bw.Flush(); err != nil {
-		s.conn.Close()
-		return err
+	if s.closed {
+		s.mu.Unlock()
+		return nil
 	}
-	return s.conn.Close()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// writer is the background flush loop.
+func (s *TCPSink) writer() {
+	defer s.wg.Done()
+	defer func() {
+		if s.conn != nil {
+			s.conn.Close()
+		}
+	}()
+	for {
+		batch, final := s.takeBatch()
+		if len(batch) == 0 {
+			if final {
+				return
+			}
+			select {
+			case <-s.wake:
+			case <-s.done:
+			}
+			continue
+		}
+		s.flush(batch, final)
+	}
+}
+
+// takeBatch pops the whole queue. final reports that Close was called:
+// after one more flush attempt the writer must exit.
+func (s *TCPSink) takeBatch() ([]StreamRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	batch := s.queue
+	s.queue = nil
+	return batch, s.closed
+}
+
+// flush delivers one batch. Dial failures requeue the batch (nothing was
+// written, so no duplicates); write failures drop the batch (it may be
+// partially delivered and replaying would double-count downstream).
+func (s *TCPSink) flush(batch []StreamRecord, final bool) {
+	if s.conn == nil && !s.redial(final) {
+		if final || s.addr == "" {
+			s.drop(batch, errors.New("tmio: sink disconnected"))
+		} else {
+			s.requeue(batch)
+		}
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range batch {
+		enc.Encode(rec) // cannot fail for this struct
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	if _, err := s.conn.Write(buf.Bytes()); err != nil {
+		s.conn.Close()
+		s.conn = nil
+		s.drop(batch, err)
+		return
+	}
+	s.mu.Lock()
+	s.lastErr = nil
+	s.mu.Unlock()
+}
+
+// redial re-establishes the connection with exponential backoff and
+// jitter. During shutdown (final) it tries exactly once so Close stays
+// bounded. It returns false when no connection could be made (or the
+// sink wraps a foreign conn and cannot redial at all).
+func (s *TCPSink) redial(final bool) bool {
+	if s.addr == "" {
+		return false
+	}
+	backoff := s.opts.BackoffMin
+	for attempt := 0; ; attempt++ {
+		conn, err := net.DialTimeout("tcp", s.addr, s.opts.DialTimeout)
+		if err == nil {
+			s.conn = conn
+			return true
+		}
+		s.setErr(err)
+		if final {
+			return false
+		}
+		// Jitter ±50% around the current backoff, then double it.
+		d := backoff/2 + time.Duration(s.rng.Int63n(int64(backoff)+1))
+		if !s.sleep(d) {
+			// Close arrived mid-backoff: one last immediate attempt.
+			conn, err := net.DialTimeout("tcp", s.addr, s.opts.DialTimeout)
+			if err == nil {
+				s.conn = conn
+				return true
+			}
+			return false
+		}
+		backoff *= 2
+		if backoff > s.opts.BackoffMax {
+			backoff = s.opts.BackoffMax
+		}
+	}
+}
+
+// sleep waits d, returning false if Close happened first.
+func (s *TCPSink) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+func (s *TCPSink) drop(batch []StreamRecord, err error) {
+	s.mu.Lock()
+	s.dropped += uint64(len(batch))
+	s.lastErr = err
+	s.mu.Unlock()
+}
+
+func (s *TCPSink) requeue(batch []StreamRecord) {
+	s.mu.Lock()
+	merged := append(batch, s.queue...)
+	if over := len(merged) - s.opts.BufferRecords; over > 0 {
+		s.dropped += uint64(over)
+		merged = merged[over:]
+	}
+	s.queue = merged
+	s.mu.Unlock()
+}
+
+func (s *TCPSink) setErr(err error) {
+	s.mu.Lock()
+	s.lastErr = err
+	s.mu.Unlock()
 }
 
 // SetSink attaches a streaming sink; every phase close is emitted as a
@@ -79,15 +381,42 @@ func (t *Tracer) emitPhase(rank int, rec phaseRecord) {
 	if t.sink == nil {
 		return
 	}
-	err := t.sink.Emit(StreamRecord{
+	sr := StreamRecord{
+		V:     StreamVersion,
+		App:   t.cfg.StreamID,
 		Rank:  rank,
 		Phase: rec.index,
 		TsSec: rec.ts.Seconds(),
 		TeSec: rec.te.Seconds(),
 		B:     rec.b,
 		BL:    rec.bl,
-	})
-	if err != nil && t.sinkErr == nil {
+	}
+	// Throughput over the phase's completed transfers. Requests still in
+	// flight at phase close (their wait has not finished) have no end
+	// time yet and are skipped; the offline report covers them instead.
+	var tStart, tEnd des.Time
+	var transferred int64
+	seen := false
+	for _, req := range rec.requests {
+		st := req.Stats()
+		if st.End <= st.Start {
+			continue
+		}
+		if !seen || st.Start < tStart {
+			tStart = st.Start
+		}
+		if st.End > tEnd {
+			tEnd = st.End
+		}
+		transferred += st.Bytes
+		seen = true
+	}
+	if seen && tEnd > tStart {
+		sr.TtsSec = tStart.Seconds()
+		sr.TteSec = tEnd.Seconds()
+		sr.T = float64(transferred) / tEnd.Sub(tStart).Seconds()
+	}
+	if err := t.sink.Emit(sr); err != nil && t.sinkErr == nil {
 		t.sinkErr = err
 	}
 }

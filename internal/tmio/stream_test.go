@@ -1,0 +1,404 @@
+package tmio
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iobehind/internal/des"
+)
+
+// TestSinkCloseThenEmit: emitting on a closed sink must fail cleanly (no
+// panic, no block) and Close must be idempotent.
+func TestSinkCloseThenEmit(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	sink := NewTCPSinkWith(client, SinkOptions{WriteTimeout: 20 * time.Millisecond})
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := sink.Emit(StreamRecord{Rank: 1}); err != ErrSinkClosed {
+		t.Fatalf("emit after close = %v, want ErrSinkClosed", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestSinkStalledPeerNeverBlocks: a peer that accepts the connection but
+// never reads must cost the emitter nothing. net.Pipe is unbuffered, so
+// every write to the stalled peer parks until the write deadline — the
+// deterministic worst case. Emit must stay non-blocking, the buffer must
+// stay bounded, and the loss must be counted.
+func TestSinkStalledPeerNeverBlocks(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	sink := NewTCPSinkWith(client, SinkOptions{
+		BufferRecords: 8,
+		WriteTimeout:  20 * time.Millisecond,
+	})
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		if err := sink.Emit(StreamRecord{Rank: 0, Phase: i, B: 1}); err != nil {
+			t.Fatalf("emit %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("200 emits against a stalled peer took %v", elapsed)
+	}
+	sink.Close()
+	if got := sink.Dropped(); got == 0 {
+		t.Fatal("no drops recorded: buffer cannot have stayed bounded")
+	} else if got > 200 {
+		t.Fatalf("dropped %d > emitted 200", got)
+	}
+}
+
+// TestTracedAppSurvivesStalledCollector is the backpressure acceptance
+// test: a real traced simulation streams into a collector that never
+// reads. The application must finish promptly with no sink error; the
+// sink buffers then drops, and Dropped reflects the loss.
+func TestTracedAppSurvivesStalledCollector(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	sink := NewTCPSinkWith(client, SinkOptions{
+		BufferRecords: 16,
+		WriteTimeout:  20 * time.Millisecond,
+	})
+
+	h := newHarness(2, Config{DisableOverhead: true})
+	h.tr.SetSink(sink)
+	start := time.Now()
+	rep := h.run(t, phasedWriter(100, 1e6, 50*des.Millisecond))
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("traced run blocked on stalled collector: %v", elapsed)
+	}
+	if err := h.tr.SinkErr(); err != nil {
+		t.Fatalf("stalled collector surfaced as app error: %v", err)
+	}
+	if len(rep.BPhases) != 2*100 {
+		t.Fatalf("phases = %d, want 200 (tracing degraded the run)", len(rep.BPhases))
+	}
+	sink.Close()
+	if sink.Dropped() == 0 {
+		t.Fatal("expected drops with a 16-record buffer and 200 records")
+	}
+}
+
+// lineServer is a test collector: it accepts connections in a loop and
+// records every JSON line received, tracking which connection it arrived
+// on.
+type lineServer struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  int
+	lines  []StreamRecord
+	byConn map[int]int
+
+	// closeAfterFirstLine makes connection 1 drop after one line (the
+	// peer-closes-mid-stream scenario).
+	closeAfterFirstLine bool
+}
+
+func newLineServer(t *testing.T, closeAfterFirstLine bool) *lineServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skip("no loopback networking available:", err)
+	}
+	s := &lineServer{ln: ln, byConn: make(map[int]int), closeAfterFirstLine: closeAfterFirstLine}
+	go s.acceptLoop()
+	return s
+}
+
+func (s *lineServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns++
+		id := s.conns
+		s.mu.Unlock()
+		go s.read(conn, id)
+	}
+}
+
+func (s *lineServer) read(conn net.Conn, id int) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		var rec StreamRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue
+		}
+		s.mu.Lock()
+		s.lines = append(s.lines, rec)
+		s.byConn[id]++
+		first := s.closeAfterFirstLine && id == 1
+		s.mu.Unlock()
+		if first {
+			return // abrupt close mid-stream
+		}
+	}
+}
+
+func (s *lineServer) snapshot() (conns int, lines []StreamRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conns, append([]StreamRecord(nil), s.lines...)
+}
+
+// TestSinkReconnectsAfterPeerClose: the collector drops the connection
+// after one record; the sink must redial (with backoff) and keep
+// delivering without ever surfacing an error to the emitter.
+func TestSinkReconnectsAfterPeerClose(t *testing.T) {
+	srv := newLineServer(t, true)
+	defer srv.ln.Close()
+
+	sink, err := DialSinkWith(srv.ln.Addr().String(), SinkOptions{
+		BackoffMin: 2 * time.Millisecond,
+		BackoffMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	deadline := time.After(5 * time.Second)
+	for i := 0; ; i++ {
+		if err := sink.Emit(StreamRecord{Rank: 0, Phase: i, B: 1}); err != nil {
+			t.Fatalf("emit: %v", err)
+		}
+		conns, lines := srv.snapshot()
+		if conns >= 2 && len(lines) >= 2 {
+			srv.mu.Lock()
+			second := srv.byConn[2]
+			srv.mu.Unlock()
+			if second == 0 {
+				continue // reconnected but nothing delivered yet
+			}
+			return // delivered on the second connection: reconnect worked
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no delivery after reconnect: conns=%d lines=%d", conns, len(lines))
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// TestSinkBuffersDuringOutage: with the collector fully down (connection
+// dead, listener gone), the sink keeps accepting records into its bounded
+// buffer; once the collector returns, the surviving buffer is flushed.
+func TestSinkBuffersDuringOutage(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skip("no loopback networking available:", err)
+	}
+	addr := ln.Addr().String()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+
+	sink, err := DialSinkWith(addr, SinkOptions{
+		BackoffMin: 2 * time.Millisecond,
+		BackoffMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	// Take the collector down: close its side of the connection and stop
+	// listening entirely.
+	conn := <-accepted
+	conn.Close()
+	ln.Close()
+
+	// Emit through the outage; every Emit must succeed instantly.
+	for i := 0; i < 30; i++ {
+		if err := sink.Emit(StreamRecord{Rank: 0, Phase: i, B: 1}); err != nil {
+			t.Fatalf("emit during outage: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Bring the collector back on the same address.
+	var ln2 net.Listener
+	for i := 0; i < 100; i++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	var delivered atomic.Int64
+	var sawOutageRecord atomic.Bool
+	go func() {
+		for {
+			conn, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					var rec StreamRecord
+					if json.Unmarshal(sc.Bytes(), &rec) == nil {
+						if rec.Phase < 100 {
+							sawOutageRecord.Store(true)
+						}
+						delivered.Add(1)
+					}
+				}
+			}()
+		}
+	}()
+
+	// Probe until the reconnect lands; buffered outage records (phase <
+	// 100) must come through with it.
+	deadline := time.After(5 * time.Second)
+	for i := 100; ; i++ {
+		sink.Emit(StreamRecord{Rank: 0, Phase: i, B: 1})
+		if delivered.Load() > 0 && sawOutageRecord.Load() {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("reconnect flush failed: delivered=%d outageSeen=%v dropped=%d",
+				delivered.Load(), sawOutageRecord.Load(), sink.Dropped())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestStreamRecordVersionAndIdentity: emitted records carry the schema
+// version, the tracer's StreamID, and the throughput window of completed
+// transfers; a sink-level AppID fills in when the tracer has none.
+func TestStreamRecordVersionAndIdentity(t *testing.T) {
+	h := newHarness(1, Config{DisableOverhead: true, StreamID: "run-42"})
+	sink := &CollectSink{}
+	h.tr.SetSink(sink)
+	h.run(t, phasedWriter(3, 10e6, des.Second))
+	if sink.Len() != 3 {
+		t.Fatalf("records = %d", sink.Len())
+	}
+	for _, rec := range sink.Records {
+		if rec.V != StreamVersion {
+			t.Fatalf("record version = %d, want %d", rec.V, StreamVersion)
+		}
+		if rec.App != "run-42" {
+			t.Fatalf("record app = %q, want run-42", rec.App)
+		}
+		// 10 MB at 100 MB/s completes long before the 1 s compute phase
+		// ends, so the throughput window must be present.
+		if rec.T <= 0 || rec.TteSec <= rec.TtsSec {
+			t.Fatalf("missing throughput window: %+v", rec)
+		}
+	}
+}
+
+func TestSinkAppIDStamping(t *testing.T) {
+	srv := newLineServer(t, false)
+	defer srv.ln.Close()
+	sink, err := DialSinkWith(srv.ln.Addr().String(), SinkOptions{AppID: "wacomm-7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Emit(StreamRecord{Rank: 1, B: 5})
+	sink.Emit(StreamRecord{App: "explicit", Rank: 2, B: 6}) // pre-set App wins
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(3 * time.Second)
+	for {
+		_, lines := srv.snapshot()
+		if len(lines) == 2 {
+			if lines[0].App != "wacomm-7" || lines[0].V != StreamVersion {
+				t.Fatalf("stamped record = %+v", lines[0])
+			}
+			if lines[1].App != "explicit" {
+				t.Fatalf("explicit app overwritten: %+v", lines[1])
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("lines = %d, want 2", len(lines))
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// TestStreamRecordDecodeTolerance: records from newer emitters — higher
+// version, unknown fields — must decode cleanly, keeping what is known.
+func TestStreamRecordDecodeTolerance(t *testing.T) {
+	line := `{"v":99,"app":"future","rank":3,"phase":1,"ts":0.5,"te":1.5,"b":42,` +
+		`"compression":"zstd","extra":{"nested":true}}`
+	var rec StreamRecord
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("future record rejected: %v", err)
+	}
+	if rec.V != 99 || rec.App != "future" || rec.Rank != 3 || rec.B != 42 {
+		t.Fatalf("known fields lost: %+v", rec)
+	}
+}
+
+// TestSinkSlowReaderDoesNotSlowSimulation: a collector that drains very
+// slowly (reads one line at a time with pauses) must not stretch the
+// traced application's wall time — emission is fire-and-forget.
+func TestSinkSlowReaderDoesNotSlowSimulation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skip("no loopback networking available:", err)
+	}
+	defer ln.Close()
+	var received atomic.Int64
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		for {
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+			received.Add(1)
+			time.Sleep(time.Millisecond) // deliberately slow drain
+		}
+	}()
+
+	sink, err := DialSink(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(2, Config{DisableOverhead: true})
+	h.tr.SetSink(sink)
+	start := time.Now()
+	h.run(t, phasedWriter(20, 1e6, 100*des.Millisecond))
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("slow reader stalled the simulation: %v", elapsed)
+	}
+	if err := h.tr.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+}

@@ -114,6 +114,11 @@ type Config struct {
 	// queries, e.g. from an I/O scheduler deciding how much bandwidth to
 	// reserve for this application.
 	OnlineAggregation bool
+	// StreamID identifies this application/run in streamed records (the
+	// App field), so a collector can demultiplex several concurrent runs
+	// on one listener. A sink-level AppID (SinkOptions) wins over an
+	// empty StreamID.
+	StreamID string
 	// MinWindow is the smallest usable required-bandwidth window. A
 	// request whose matching wait arrives sooner (e.g. the application's
 	// final request, waited immediately after submission) provides no
