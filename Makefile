@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench sweep gateway-smoke ci clean
+.PHONY: all build vet lint test race bench sweep gateway-smoke ci clean
 
 all: ci
 
@@ -13,15 +13,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# iolint enforces the determinism and cache-key invariants the sweep
+# cache and online/offline equality rest on: no wall-clock reads or
+# global randomness in simulation packages, json:"-" on unhashable
+# cache-key fields, no float ==/!= in the interval arithmetic. See
+# docs/ARCHITECTURE.md ("Determinism & cache-key invariants").
+lint:
+	$(GO) run ./cmd/iolint ./...
+
 test:
 	$(GO) test ./...
 
 # The race-detector sweep: real Fig. 1 + Fig. 5 experiment points run
 # concurrently through the worker pool (internal/runner/sweep_race_test.go),
-# asserting byte-identical rendered output vs. the serial path, plus the
-# telemetry gateway's concurrent ingest/query/shutdown paths.
+# asserting byte-identical rendered output vs. the serial path, the
+# telemetry gateway's concurrent ingest/query/shutdown paths, and the
+# TCPSink's reconnect/drop paths (internal/tmio stream tests).
 race:
-	$(GO) test -race ./internal/runner/... ./internal/gateway/...
+	$(GO) test -race ./internal/runner/... ./internal/gateway/... ./internal/tmio/...
 
 # End-to-end gateway check on ephemeral ports: gateway up, one traced
 # simulation streamed in over TCP, HTTP surface probed for series and a
@@ -39,7 +48,7 @@ bench:
 sweep:
 	$(GO) run ./cmd/iosweep -figs all -scale quick -j 0 -cache .iosweep-cache
 
-ci: vet build test race
+ci: vet build lint test race
 
 clean:
 	rm -rf .iosweep-cache

@@ -1,0 +1,95 @@
+// Command iolint runs the project's determinism and cache-key analyzers
+// (internal/lint) over the given package patterns and exits non-zero on
+// findings.
+//
+// Usage:
+//
+//	go run ./cmd/iolint ./...
+//	go run ./cmd/iolint ./internal/... ./cmd/...
+//	go run ./cmd/iolint -list
+//
+// Patterns default to ./internal/... ./cmd/... . Findings print as
+// "file:line:col: [rule] message" with paths relative to the module root.
+// Suppress an intentional finding with a comment on the offending line or
+// the line above it:
+//
+//	//iolint:ignore <rule> <reason>
+//
+// The reason is mandatory; malformed suppressions are themselves
+// reported. Only non-test files are analyzed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"iobehind/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: iolint [-list] [patterns...]\n\n"+
+			"Patterns are package directories or ./... globs relative to the module\n"+
+			"root (default: ./internal/... ./cmd/...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+	pkgs, err := lint.Load(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.RunAll(pkgs)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "iolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("iolint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iolint:", err)
+	os.Exit(1)
+}

@@ -22,7 +22,6 @@ import (
 	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -257,10 +256,11 @@ func (s *Server) handle(c net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		var rec tmio.StreamRecord
-		// Unknown fields (and future schema versions) are tolerated by
-		// construction: encoding/json ignores what it does not know.
-		if err := json.Unmarshal(line, &rec); err != nil {
+		// Unknown fields and future schema versions are tolerated,
+		// truncated or torn lines rejected — see tmio.DecodeStreamRecord,
+		// the fuzz-tested decode path shared with every other consumer.
+		rec, err := tmio.DecodeStreamRecord(line)
+		if err != nil {
 			s.decodeErrors.Add(1)
 			continue
 		}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floateqPackages hold the interval arithmetic behind Eq. 3 and the
+// sweep's online/offline equality: exact ==/!= between floats there is
+// almost always a latent divergence between the two aggregation paths.
+var floateqPackages = []string{"internal/region", "internal/metrics", "internal/ftio"}
+
+var floateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc: "forbid ==/!= between floating-point expressions in " +
+		"internal/region, internal/metrics, internal/ftio; use epsilon or " +
+		"ordering comparisons (or integer des.Time arithmetic) instead",
+	Run: func(p *Package) []Diagnostic {
+		applies := false
+		for _, rel := range floateqPackages {
+			if pathIs(p.Path, rel) {
+				applies = true
+				break
+			}
+		}
+		if !applies {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.Info.TypeOf(be.X)) && !isFloat(p.Info.TypeOf(be.Y)) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(be.OpPos),
+					Rule: "floateq",
+					Message: "floating-point " + be.Op.String() +
+						" comparison; use an epsilon or ordering comparison so interval arithmetic stays stable",
+				})
+				return true
+			})
+		}
+		return diags
+	},
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

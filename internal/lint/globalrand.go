@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand(/v2) package-level functions that
+// build an explicitly seeded generator rather than drawing from the
+// shared global one. Everything else at package level either consumes
+// hidden global state (Intn, Float64, Shuffle, ...) or mutates it (Seed),
+// and both destroy run-to-run reproducibility.
+var randConstructors = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true, "NewZipf": true},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true},
+}
+
+var globalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid global math/rand draws, unseeded rand.New, and crypto/rand " +
+		"in simulation packages; randomness must come from an explicitly " +
+		"seeded *rand.Rand threaded through config",
+	Run: func(p *Package) []Diagnostic {
+		if !isSimPackage(p.Path) {
+			return nil
+		}
+		var diags []Diagnostic
+		report := func(n ast.Node, msg string) {
+			diags = append(diags, Diagnostic{Pos: p.Fset.Position(n.Pos()), Rule: "globalrand", Message: msg})
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				path := fn.Pkg().Path()
+				if path == "crypto/rand" {
+					report(sel, "crypto/rand is nondeterministic by design; "+
+						"simulation randomness must come from a seeded *rand.Rand")
+					return true
+				}
+				ctors, ok := randConstructors[path]
+				if !ok {
+					return true
+				}
+				if !ctors[fn.Name()] {
+					report(sel, "global "+path+"."+fn.Name()+
+						" draws from hidden shared state; use an explicitly seeded *rand.Rand from config")
+					return true
+				}
+				if fn.Name() == "New" && !seededSourceArg(p, sel) {
+					report(sel, path+".New with an indirect source; seed it in place "+
+						"with rand.NewSource(seed) so the seed provably comes from config")
+				}
+				return true
+			})
+		}
+		return diags
+	},
+}
+
+// seededSourceArg reports whether the rand.New call enclosing sel passes a
+// source constructed in place by a math/rand(/v2) source constructor
+// (NewSource, NewPCG, NewChaCha8) — the only shape the analyzer can prove
+// is explicitly seeded.
+func seededSourceArg(p *Package, sel *ast.SelectorExpr) bool {
+	call := enclosingCall(p, sel)
+	if call == nil || len(call.Args) == 0 {
+		return false
+	}
+	argCall, ok := call.Args[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	argSel, ok := argCall.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[argSel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if _, isRand := randConstructors[fn.Pkg().Path()]; !isRand {
+		return false
+	}
+	switch fn.Name() {
+	case "NewSource", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}
+
+// enclosingCall finds the CallExpr whose Fun is sel by re-walking the
+// file; nil when sel is referenced without being called.
+func enclosingCall(p *Package, sel *ast.SelectorExpr) *ast.CallExpr {
+	var found *ast.CallExpr
+	for _, f := range p.Files {
+		if f.Pos() <= sel.Pos() && sel.End() <= f.End() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && call.Fun == sel {
+					found = call
+					return false
+				}
+				return found == nil
+			})
+		}
+	}
+	return found
+}

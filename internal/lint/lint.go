@@ -1,0 +1,247 @@
+// Package lint is iolint's engine: a stdlib-only static-analysis pass
+// that enforces the invariants the simulator's reproducibility rests on.
+//
+// The paper's metrics (B, B_L, T — Eq. 3) are reproducible only because
+// every experiment point is a pure function of its configuration. Two
+// subsystems silently depend on that purity: the runner's SHA-256 result
+// cache (a point's canonical-JSON config *is* its identity) and the
+// gateway's online-vs-offline sweep equality (the same phases must
+// aggregate to the same series no matter when they are observed). Nothing
+// used to check that simulation code never reads the wall clock, never
+// draws from unseeded global randomness, and never places unhashable
+// fields into cache-keyed configs; iolint encodes those hazards as
+// machine-checked rules:
+//
+//   - walltime   — time.Now/Sleep/Since/After (and friends) are forbidden
+//     in the simulation packages; all time must flow from des.Time.
+//   - globalrand — top-level math/rand(/v2) draws and unseeded rand.New
+//     are forbidden in the simulation packages; randomness must come from
+//     an explicitly seeded *rand.Rand threaded through config.
+//   - cachekey   — structs reachable from a runner.Point config must mark
+//     func/chan/unexported-interface fields `json:"-"` so json.Marshal
+//     based SHA-256 cache keys stay total and stable.
+//   - floateq    — ==/!= between floating-point expressions is forbidden
+//     in internal/region, internal/metrics, and internal/ftio; interval
+//     arithmetic there must use epsilon or ordering comparisons.
+//
+// Analyzers inspect non-test files only; tests may freely use wall time
+// and ad-hoc randomness. A finding can be suppressed with a comment on
+// the offending line or the line directly above it:
+//
+//	//iolint:ignore <rule> <reason>
+//
+// The reason is mandatory: a suppression without one does not suppress
+// and is itself reported. The whole package uses only go/ast, go/parser,
+// go/token, and go/types with the source importer — no x/tools — so the
+// module stays dependency-free.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, rendered as "file:line:col: [rule] message".
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one loaded, typechecked package handed to analyzers.
+type Package struct {
+	// Path is the package's import path (e.g. "iobehind/internal/des");
+	// rule applicability is decided on it.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// Analyzers returns every rule in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{walltimeAnalyzer, globalrandAnalyzer, cachekeyAnalyzer, floateqAnalyzer}
+}
+
+// simPackages are the packages whose behaviour must be a pure function of
+// config and seed: everything that executes inside (or enumerates) a
+// virtual-time simulation.
+var simPackages = []string{
+	"des", "sched", "cluster", "adio", "pfs", "mpi", "mpiio",
+	"region", "metrics", "ftio", "workloads", "experiments",
+}
+
+// isSimPackage reports whether path is one of the simulation packages
+// (matched as an internal/<name> suffix so the module name is irrelevant).
+func isSimPackage(path string) bool {
+	for _, name := range simPackages {
+		if pathIs(path, "internal/"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathIs reports whether the import path is rel or a subpackage of it,
+// regardless of the module prefix.
+func pathIs(path, rel string) bool {
+	if path == rel || strings.HasSuffix(path, "/"+rel) {
+		return true
+	}
+	i := strings.Index(path, "/"+rel+"/")
+	return i >= 0 || strings.HasPrefix(path, rel+"/")
+}
+
+// RunAll applies every analyzer to every package, drops suppressed
+// findings, reports malformed suppression comments, deduplicates, and
+// returns the result sorted by position then rule.
+func RunAll(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	sup := newSuppressions()
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			for _, d := range a.Run(p) {
+				if !sup.covers(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+		diags = append(diags, sup.malformed(p)...)
+	}
+	return dedupeSort(diags)
+}
+
+func dedupeSort(diags []Diagnostic) []Diagnostic {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	out := diags[:0]
+	var prev Diagnostic
+	for i, d := range diags {
+		if i > 0 && d.Pos.Filename == prev.Pos.Filename && d.Pos.Line == prev.Pos.Line &&
+			d.Pos.Column == prev.Pos.Column && d.Rule == prev.Rule {
+			continue
+		}
+		out = append(out, d)
+		prev = d
+	}
+	return out
+}
+
+// ignoreMarker introduces a suppression comment. Built by concatenation
+// so this very file does not read as a (malformed) suppression.
+const ignoreMarker = "//iolint:" + "ignore"
+
+// suppressions resolves //iolint:ignore comments. It reads source files
+// directly (cached per file) rather than relying on loaded ASTs: cachekey
+// diagnostics can land in packages reached only through the type graph,
+// whose comments were never parsed.
+type suppressions struct {
+	files map[string]map[int][]string // filename -> line -> suppressed rules
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{files: make(map[string]map[int][]string)}
+}
+
+// covers reports whether d is suppressed by a well-formed ignore comment
+// on its own line or the line directly above.
+func (s *suppressions) covers(d Diagnostic) bool {
+	lines := s.load(d.Pos.Filename)
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// malformed reports ignore comments in p's files that lack a rule or a
+// reason — they suppress nothing, and leaving them silent would let a
+// suppression rot into a no-op unnoticed.
+func (s *suppressions) malformed(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	seen := make(map[string]bool)
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		data, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		for i, text := range strings.Split(string(data), "\n") {
+			idx := strings.Index(text, ignoreMarker)
+			if idx < 0 {
+				continue
+			}
+			fields := strings.Fields(text[idx+len(ignoreMarker):])
+			if len(fields) >= 2 {
+				continue // rule + reason: well-formed
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     token.Position{Filename: name, Line: i + 1, Column: idx + 1},
+				Rule:    "ignore",
+				Message: "malformed suppression: want //iolint:ignore <rule> <reason>",
+			})
+		}
+	}
+	return diags
+}
+
+// load parses one file's suppression lines on first use.
+func (s *suppressions) load(filename string) map[int][]string {
+	if m, ok := s.files[filename]; ok {
+		return m
+	}
+	m := make(map[int][]string)
+	s.files[filename] = m
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return m
+	}
+	for i, text := range strings.Split(string(data), "\n") {
+		idx := strings.Index(text, ignoreMarker)
+		if idx < 0 {
+			continue
+		}
+		fields := strings.Fields(text[idx+len(ignoreMarker):])
+		if len(fields) < 2 {
+			continue // no rule or no reason: not a valid suppression
+		}
+		m[i+1] = append(m[i+1], fields[0])
+	}
+	return m
+}

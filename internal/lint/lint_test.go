@@ -1,0 +1,166 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"iobehind/internal/lint"
+)
+
+// TestAnalyzers loads each rule's fixture package under a claimed import
+// path and asserts that the diagnostics RunAll produces (after
+// suppression filtering) match the fixture's // want comments exactly:
+// every want is hit by exactly one diagnostic on its line, and no
+// diagnostic lacks a want.
+func TestAnalyzers(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	tests := []struct {
+		name string
+		dir  string // fixture under testdata/src
+		path string // claimed import path (decides rule applicability)
+		// explicit, when non-nil, replaces // want matching with exact
+		// "line [rule]" expectations (used where a trailing want comment
+		// would change the fixture's meaning).
+		explicit []string
+		// ignoreWants loads a fixture while asserting zero diagnostics —
+		// the same code under a path where no rule applies.
+		ignoreWants bool
+	}{
+		{name: "walltime", dir: "walltime", path: "iobehind/internal/des"},
+		{name: "walltime-outside-sim", dir: "walltime", path: "iobehind/internal/gateway", ignoreWants: true},
+		{name: "globalrand", dir: "globalrand", path: "iobehind/internal/pfs"},
+		{name: "globalrand-outside-sim", dir: "globalrand", path: "iobehind/internal/tmio", ignoreWants: true},
+		{name: "cachekey", dir: "cachekey", path: "iobehind/internal/lintfixture"},
+		{name: "floateq", dir: "floateq", path: "iobehind/internal/region"},
+		{name: "floateq-outside", dir: "floateq", path: "iobehind/internal/pfs", ignoreWants: true},
+		{name: "ignore-malformed", dir: "ignorebad", path: "iobehind/internal/lintfixture",
+			explicit: []string{"7 [ignore]", "10 [ignore]"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tt.dir)
+			p, err := lint.Check(fset, imp, dir, tt.path)
+			if err != nil {
+				t.Fatalf("load fixture %s: %v", dir, err)
+			}
+			diags := lint.RunAll([]*lint.Package{p})
+			switch {
+			case tt.ignoreWants:
+				for _, d := range diags {
+					t.Errorf("unexpected diagnostic outside rule scope: %s", d)
+				}
+			case tt.explicit != nil:
+				var got []string
+				for _, d := range diags {
+					got = append(got, fmt.Sprintf("%d [%s]", d.Pos.Line, d.Rule))
+				}
+				if strings.Join(got, "; ") != strings.Join(tt.explicit, "; ") {
+					t.Errorf("diagnostics = %v, want %v", got, tt.explicit)
+				}
+			default:
+				matchWants(t, p, diags)
+			}
+		})
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want (".*")`)
+var wantArgRE = regexp.MustCompile(`"([^"]*)"`)
+
+// matchWants compares diagnostics against the fixture's // want comments.
+func matchWants(t *testing.T, p *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	type want struct {
+		substr string
+		used   bool
+	}
+	wants := make(map[int][]*want) // line -> expectations
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					wants[line] = append(wants[line], &want{substr: arg[1]})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[d.Pos.Line] {
+			if !w.used && strings.Contains(d.String(), w.substr) {
+				w.used, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("line %d: missing diagnostic containing %q", line, w.substr)
+			}
+		}
+	}
+}
+
+// TestDiagnosticString pins the file:line:col: [rule] message format the
+// Makefile's lint target (and editors) rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{
+		Pos:     token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Rule:    "walltime",
+		Message: "msg",
+	}
+	if got, want := d.String(), "a/b.go:3:7: [walltime] msg"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestAnalyzerRegistry pins the shipped rule set: the four invariants the
+// sweep cache and online/offline equality depend on.
+func TestAnalyzerRegistry(t *testing.T) {
+	var names []string
+	for _, a := range lint.Analyzers() {
+		names = append(names, a.Name)
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s: missing doc or run", a.Name)
+		}
+	}
+	want := []string{"walltime", "globalrand", "cachekey", "floateq"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("analyzers = %v, want %v", names, want)
+	}
+}
+
+// TestLoadRepo smoke-loads two real packages through the pattern loader
+// and asserts the simulation tree is currently clean — the invariant
+// make ci enforces.
+func TestLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecking the repo is slow; skipped with -short")
+	}
+	pkgs, err := lint.Load(filepath.Join("..", ".."), []string{"./internal/des", "./internal/region"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, d := range lint.RunAll(pkgs) {
+		t.Errorf("unexpected diagnostic in clean tree: %s", d)
+	}
+}

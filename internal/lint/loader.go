@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and typechecks the packages matched by patterns, rooted at
+// the module directory dir. Patterns are directory paths relative to dir
+// ("./internal/des", "internal/des") or recursive globs ("./...",
+// "./internal/..."). Test files are never loaded: the rules police
+// simulation code, not its tests. Directories named testdata, hidden
+// directories, and directories without non-test Go files are skipped.
+//
+// Typechecking uses the stdlib source importer, so the only external
+// requirement is a resolvable GOROOT — no x/tools, no export data.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	module, err := modulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, d := range dirs {
+		rel, err := filepath.Rel(dir, d)
+		if err != nil {
+			return nil, err
+		}
+		path := module
+		if rel != "." {
+			path = module + "/" + filepath.ToSlash(rel)
+		}
+		p, err := Check(fset, imp, d, path)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// Check parses and typechecks the non-test Go files of one directory as
+// the package with the given import path. It returns (nil, nil) when the
+// directory has no non-test Go files. Exposed so tests can load fixture
+// directories under an arbitrary claimed import path.
+func Check(fset *token.FileSet, imp types.Importer, dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// modulePath reads the module path from dir/go.mod.
+func modulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if mod := strings.TrimSpace(rest); mod != "" {
+				return mod, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", dir)
+}
+
+// expandPatterns resolves patterns to the sorted set of package dirs.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+		if pat == "" {
+			pat = "."
+		}
+		base, recursive := pat, false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base, recursive = rest, true
+		} else if pat == "..." {
+			base, recursive = ".", true
+		}
+		start := filepath.Join(root, filepath.FromSlash(base))
+		fi, err := os.Stat(start)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("pattern %q: not a directory", pat)
+		}
+		if !recursive {
+			add(start)
+			continue
+		}
+		err = filepath.WalkDir(start, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != start && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir contains at least one non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+// Fixture for the floateq rule, loaded under the claimed import path
+// iobehind/internal/region.
+package fixture
+
+func compare(a, b float64, f float32, n, m int) bool {
+	if a == b { // want "[floateq] floating-point == comparison"
+		return true
+	}
+	if a != 0 { // want "[floateq] floating-point != comparison"
+		return false
+	}
+	if f == 1.5 { // want "[floateq] floating-point == comparison"
+		return true
+	}
+	// Integer and ordering comparisons are fine.
+	if n == m || a < b || a >= b {
+		return false
+	}
+	//iolint:ignore floateq fixture: sentinel bit-pattern check is intentional
+	return a == -1
+}

@@ -1,0 +1,38 @@
+// Fixture for the globalrand rule, loaded under the claimed import path
+// iobehind/internal/pfs.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+var global = rand.Intn(5) // want "[globalrand] global math/rand.Intn"
+
+func draws() {
+	_ = rand.Float64()     // want "[globalrand] global math/rand.Float64"
+	rand.Seed(7)           // want "[globalrand] global math/rand.Seed"
+	rand.Shuffle(3, swap)  // want "[globalrand] global math/rand.Shuffle"
+	_ = randv2.Int()       // want "[globalrand] global math/rand/v2.Int"
+	_, _ = crand.Read(nil) // want "[globalrand] crypto/rand is nondeterministic"
+}
+
+func swap(i, j int) {}
+
+// Explicitly seeded generators are the required idiom.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng2 := randv2.New(randv2.NewPCG(1, 2))
+	return rng.Float64() + rng2.Float64()
+}
+
+// A generator built from an indirect source cannot be proven seeded.
+func indirect(src rand.Source) *rand.Rand {
+	return rand.New(src) // want "[globalrand] math/rand.New with an indirect source"
+}
+
+func suppressedIndirect(src rand.Source) *rand.Rand {
+	//iolint:ignore globalrand fixture: source is seeded by the caller
+	return rand.New(src)
+}

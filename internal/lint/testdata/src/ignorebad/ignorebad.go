@@ -1,0 +1,11 @@
+// Fixture for malformed suppression comments: a marker without a rule or
+// without a reason suppresses nothing and is itself reported (expected
+// diagnostics are listed in lint_test.go, not as want comments, because a
+// trailing comment would read as the missing reason).
+package fixture
+
+//iolint:ignore
+var a int
+
+//iolint:ignore floateq
+var b int

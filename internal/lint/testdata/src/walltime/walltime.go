@@ -1,0 +1,32 @@
+// Fixture for the walltime rule. Loaded by lint_test.go under the
+// claimed import path iobehind/internal/des (a simulation package) and
+// again under a non-simulation path, where nothing may be reported.
+package fixture
+
+import "time"
+
+var t0 = time.Now() // want "[walltime] wall-clock call time.Now"
+
+func waits() {
+	time.Sleep(time.Millisecond) // want "[walltime] wall-clock call time.Sleep"
+	_ = time.Since(t0)           // want "[walltime] wall-clock call time.Since"
+	<-time.After(0)              // want "[walltime] wall-clock call time.After"
+	select {
+	case <-time.Tick(time.Second): // want "[walltime] wall-clock call time.Tick"
+	default:
+	}
+}
+
+// Types and pure conversions stay allowed: only reading the host clock is
+// banned.
+func allowed() time.Duration {
+	var d time.Duration = 5 * time.Millisecond
+	_ = d.String()
+	return time.Duration(42)
+}
+
+func suppressed() {
+	//iolint:ignore walltime fixture exercises a justified wall-clock read
+	_ = time.Now()
+	_ = time.Now() //iolint:ignore walltime same-line suppression form
+}

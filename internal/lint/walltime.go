@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walltimeFuncs are the package-level time functions that observe or wait
+// on the wall clock. Types like time.Duration (which des.Duration mirrors
+// for printing) and pure conversions remain allowed; it is the *reading*
+// of host time that breaks the pure-function-of-config contract.
+var walltimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "After": true,
+	"Until": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+var walltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads (time.Now/Sleep/Since/After/...) in " +
+		"simulation packages; all time must flow from des.Time",
+	Run: func(p *Package) []Diagnostic {
+		if !isSimPackage(p.Path) {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if fn.Type().(*types.Signature).Recv() != nil || !walltimeFuncs[fn.Name()] {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(sel.Pos()),
+					Rule: "walltime",
+					Message: "wall-clock call time." + fn.Name() +
+						" in simulation package; derive time from des.Time so results stay a pure function of config",
+				})
+				return true
+			})
+		}
+		return diags
+	},
+}

@@ -37,6 +37,7 @@ func (s *Series) Append(t des.Time, v float64) {
 			last.V = v
 			return
 		}
+		//iolint:ignore floateq exact bit-equality is the intent: it only coalesces perfectly duplicate step points, and a missed match merely stores a redundant point
 		if last.V == v {
 			return
 		}

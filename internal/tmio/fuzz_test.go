@@ -1,0 +1,66 @@
+package tmio
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeStreamRecord hammers the gateway's shared JSON-lines decode
+// path with arbitrary bytes. Beyond not panicking, it checks the decode
+// contract the ingest loop depends on:
+//
+//   - errors always come with a zero record (no partially decoded fields
+//     can leak into aggregation);
+//   - an accepted record survives a marshal/decode round trip unchanged
+//     (re-encoding a record is how the gateway's smoke path replays);
+//   - whitespace framing never changes the outcome.
+func FuzzDecodeStreamRecord(f *testing.F) {
+	// A full valid record, as TCPSink emits it.
+	f.Add(`{"v":1,"app":"hacc-run-1","rank":3,"phase":2,"ts":1.5,"te":2.5,"b":1048576,"bl":9.5e5,"t":8e5,"tts":1.6,"tte":2.4}`)
+	// Minimal record: omitempty fields absent.
+	f.Add(`{"rank":0,"phase":0,"ts":0,"te":0.5,"b":42}`)
+	// Truncated mid-object (torn TCP write).
+	f.Add(`{"v":1,"rank":3,"phase":2,"ts":1.`)
+	// Unknown fields and a future schema version must decode.
+	f.Add(`{"v":99,"rank":1,"phase":0,"ts":0,"te":1,"b":7,"future_field":{"x":[1,2]},"note":"hi"}`)
+	// Two records on one line: broken framing, must be rejected.
+	f.Add(`{"rank":1,"phase":0,"ts":0,"te":1,"b":1}{"rank":2,"phase":0,"ts":0,"te":1,"b":1}`)
+	// Wrong JSON shapes.
+	f.Add(`[1,2,3]`)
+	f.Add(`"just a string"`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Add(`   `)
+	f.Add(`{"rank":"not a number"}`)
+	// Deep nesting in an ignored field.
+	f.Add(`{"rank":1,"x":` + strings.Repeat(`[`, 64) + strings.Repeat(`]`, 64) + `}`)
+
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := DecodeStreamRecord([]byte(line))
+		if err != nil {
+			if rec != (StreamRecord{}) {
+				t.Fatalf("error %v returned non-zero record %+v", err, rec)
+			}
+			return
+		}
+		// Round trip: an accepted record re-encodes and re-decodes to
+		// itself, so replaying a stream is lossless.
+		encoded, merr := json.Marshal(rec)
+		if merr != nil {
+			t.Fatalf("accepted record %+v does not re-marshal: %v", rec, merr)
+		}
+		again, derr := DecodeStreamRecord(encoded)
+		if derr != nil {
+			t.Fatalf("re-decoding %s failed: %v", encoded, derr)
+		}
+		if again != rec {
+			t.Fatalf("round trip changed record: %+v -> %+v", rec, again)
+		}
+		// Framing whitespace is irrelevant.
+		padded, perr := DecodeStreamRecord([]byte("  \t" + line + "\r\n"))
+		if perr != nil || padded != rec {
+			t.Fatalf("whitespace padding changed outcome: rec=%+v err=%v", padded, perr)
+		}
+	})
+}
