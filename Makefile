@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench sweep gateway-smoke ci clean
+.PHONY: all build vet lint test race bench sweep gateway-smoke faults-smoke ci clean
 
 all: ci
 
@@ -30,13 +30,19 @@ test:
 # telemetry gateway's concurrent ingest/query/shutdown paths, and the
 # TCPSink's reconnect/drop paths (internal/tmio stream tests).
 race:
-	$(GO) test -race ./internal/runner/... ./internal/gateway/... ./internal/tmio/...
+	$(GO) test -race ./internal/runner/... ./internal/gateway/... ./internal/tmio/... ./internal/faults/...
 
 # End-to-end gateway check on ephemeral ports: gateway up, one traced
 # simulation streamed in over TCP, HTTP surface probed for series and a
 # next-burst forecast.
 gateway-smoke:
 	$(GO) run ./cmd/iogateway -smoke
+
+# Deterministic seeded fault scenario: runs the 'faults' figure and fails
+# unless its invariants hold (nonzero transient-error retries, limiter
+# recovered after the windows closed).
+faults-smoke:
+	$(GO) run ./cmd/iosweep -figs faults -check-faults
 
 # Figure benchmarks with the paper's headline metrics, plus the
 # serial-vs-parallel-vs-warm-cache sweep comparison.

@@ -30,11 +30,13 @@ import (
 )
 
 func main() {
-	figs := flag.String("figs", "all", "figures to reproduce: comma list of 1,2,3,4,5,6,7,8,9,10,11,13,14 or 'all'")
+	figs := flag.String("figs", "all", "figures to reproduce: comma list of 1,2,3,4,5,6,7,8,9,10,11,13,14,faults or 'all'")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
 	cacheDir := flag.String("cache", "", "cache directory for completed points (empty disables caching)")
 	outDir := flag.String("out", "", "also write each figure's output to <out>/fig<N>.txt")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault scenario's random window batch (figure 'faults')")
+	checkFaults := flag.Bool("check-faults", false, "fail unless the fault scenario's invariants hold (nonzero retries, recovered limit)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -67,8 +69,14 @@ func main() {
 	seen := map[string]bool{}
 	var points []runner.Point
 	for _, id := range ids {
-		exp, ok := experiments.ByFig(id, scale)
-		if !ok {
+		var exp *experiments.Experiment
+		if id == "faults" {
+			// The fault scenario is seedable from the command line; the seed
+			// lands in the point configs, so each seed caches separately.
+			exp = experiments.FigFaultsExperimentSeeded(scale, *faultSeed)
+		} else if e, ok := experiments.ByFig(id, scale); ok {
+			exp = e
+		} else {
 			fmt.Fprintf(os.Stderr, "iosweep: unknown figure %q\n", id)
 			os.Exit(2)
 		}
@@ -112,6 +120,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "iosweep: figure %s: %v\n", fe.id, err)
 			failed++
 			continue
+		}
+		if *checkFaults {
+			if c, ok := res.(interface{ Check() error }); ok {
+				if err := c.Check(); err != nil {
+					fmt.Fprintf(os.Stderr, "iosweep: figure %s: %v\n", fe.id, err)
+					failed++
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "iosweep: figure %s: fault invariants hold\n", fe.id)
+			}
 		}
 		header := fmt.Sprintf("### Figure %s (%s scale, %d points)\n\n",
 			fe.id, scale, len(fe.exp.Points))

@@ -80,6 +80,18 @@ type Config struct {
 	// Reads bypass the buffer.
 	BurstBuffer *pfs.BurstBufferConfig
 
+	// RetryMax bounds the consecutive retries of one failing sub-request
+	// when a fault model reports transient I/O errors; after RetryMax
+	// failed retries the request is abandoned (Stats.Failed) and the
+	// exhaustion counted. Defaults to 4.
+	RetryMax int
+	// RetryBackoff is the base of the exponential retry backoff on the
+	// simulated clock: the n-th consecutive retry sleeps
+	// RetryBackoff × 2^(n-1), capped at RetryBackoffMax. Defaults to
+	// 10 ms / 1 s.
+	RetryBackoff    des.Duration
+	RetryBackoffMax des.Duration
+
 	// SubmitLatencyPerFlow and QueueLatencyPerFlow model I/O-server
 	// queuing under burst storms. When thousands of ranks hit the file
 	// system at once, posting a request stalls the *caller* briefly
@@ -121,6 +133,28 @@ func (c *Config) applyDefaults() {
 	if c.FlowWeight <= 0 {
 		c.FlowWeight = 1
 	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 4
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * des.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = des.Second
+	}
+}
+
+// FaultModel is the agent's view of an active fault scenario
+// (internal/faults.Injector implements it). All methods answer for the
+// current virtual instant; the agent consults them per sub-request, so
+// windows opening or closing mid-request take effect on the next chunk.
+type FaultModel interface {
+	// QueueFactor scales the storm-queue latency of the class (>= 1).
+	QueueFactor(class pfs.Class) float64
+	// NodeSlowdown scales one node's transfer durations (>= 1).
+	NodeSlowdown(node int) float64
+	// ErrorProb is the transient-failure probability per sub-request.
+	ErrorProb(class pfs.Class) float64
 }
 
 // Segment is a half-open interval of virtual time during which the agent
@@ -144,6 +178,20 @@ type RequestStats struct {
 	Segments  []Segment // active transfer intervals
 	Limit     float64   // the limit in force (Unlimited if none)
 	SleptFor  des.Duration
+
+	// Queued is the server-side storm-queue wait before the first byte
+	// moved. It is also folded into the first segment (the queue time
+	// lengthens the measured throughput window), so Δt° reconstructed
+	// from the segments includes it.
+	Queued des.Duration
+	// Retries counts failed sub-request attempts that were retried under
+	// an active fault model; BackoffSlept is the total retry backoff
+	// slept on the simulated clock. Failed marks a request abandoned
+	// after RetryMax consecutive failures — its remaining bytes were
+	// never transferred.
+	Retries      int
+	BackoffSlept des.Duration
+	Failed       bool
 }
 
 // ActiveTransfer returns the summed duration of the active segments.
@@ -188,11 +236,16 @@ type Agent struct {
 	// CarryDeficit is set.
 	carriedDeficit float64
 
+	// faults, when non-nil, is the active fault scenario.
+	faults FaultModel
+
 	// Totals for introspection and tests.
-	totalBytes   [2]int64
-	totalSlept   des.Duration
-	requestsDone int
-	hiccups      int
+	totalBytes     [2]int64
+	totalSlept     des.Duration
+	requestsDone   int
+	hiccups        int
+	retries        int
+	retryExhausted int
 }
 
 // NewAgent creates and starts an I/O agent serving host on fs.
@@ -215,6 +268,10 @@ func NewAgent(e *des.Engine, fs *pfs.PFS, host Host, cfg Config) *Agent {
 
 // BurstBuffer returns the agent's buffer tier, or nil.
 func (a *Agent) BurstBuffer() *pfs.BurstBuffer { return a.bb }
+
+// SetFaults installs (or removes, with nil) the fault model the agent
+// consults per sub-request.
+func (a *Agent) SetFaults(m FaultModel) { a.faults = m }
 
 // Limit returns the write-class bandwidth limit currently in force
 // (Unlimited if none). Reads may carry a different limit; see ClassLimit.
@@ -294,6 +351,14 @@ func (a *Agent) RequestsDone() int { return a.requestsDone }
 // Hiccups returns how many scheduling hiccups this agent has charged.
 func (a *Agent) Hiccups() int { return a.hiccups }
 
+// Retries returns how many failed sub-request attempts this agent has
+// retried under a fault model.
+func (a *Agent) Retries() int { return a.retries }
+
+// RetryExhausted returns how many requests this agent abandoned after
+// RetryMax consecutive failures.
+func (a *Agent) RetryExhausted() int { return a.retryExhausted }
+
 // QueueLen returns the number of requests waiting behind the current one.
 func (a *Agent) QueueLen() int { return a.queue.Len() }
 
@@ -325,23 +390,38 @@ func (a *Agent) execute(p *des.Proc, req *Request) {
 	// operation window), but it lengthens the measured throughput window.
 	// The queuing time counts toward the first sub-request's actual
 	// execution time — the paper's thread compares wall time, so server
-	// stalls eat into the sleep budget rather than adding to it.
-	queued := 0.0
+	// stalls eat into the sleep budget rather than adding to it. A
+	// server-stall fault window multiplies the wait.
+	var queued des.Duration
 	if lat := StormLatency(a.e, a.cfg.QueueLatencyPerFlow,
 		a.fs.RecentOps(req.Stats.Class)); lat > 0 {
+		if a.faults != nil {
+			if f := a.faults.QueueFactor(req.Stats.Class); f > 1 {
+				lat = des.DurationOf(lat.Seconds() * f)
+			}
+		}
 		p.Sleep(lat)
-		queued = lat.Seconds()
+		queued = lat
 	}
+	req.Stats.Queued = queued
 
 	// Buffered writes land in the burst-buffer tier at absorb speed; the
-	// buffer's drainer shapes the traffic to the file system.
+	// buffer's drainer shapes the traffic to the file system. The
+	// buffered path is never paced (the limit shapes PFS traffic, which
+	// buffered writes reach only through the drainer), so the stats
+	// report Unlimited — limiter feedback must not treat a buffered
+	// phase as throttled. Interference and the hiccup tail are charged
+	// exactly like the direct path's.
 	if a.bb != nil && req.Stats.Class == pfs.Write {
+		req.Stats.Limit = pfs.Unlimited
 		start := p.Now()
 		a.bb.Write(p, req.Stats.Bytes)
 		end := p.Now()
-		req.Stats.Segments = append(req.Stats.Segments, Segment{Start: start, End: end})
+		req.Stats.Segments = append(req.Stats.Segments, Segment{Start: start.Add(-queued), End: end})
+		a.chargeInterference(end.Sub(start).Seconds(), req.Stats.Bytes)
 		a.totalBytes[pfs.Write] += req.Stats.Bytes
 		req.Stats.End = end
+		a.maybeHiccup(req)
 		return
 	}
 
@@ -350,6 +430,7 @@ func (a *Agent) execute(p *des.Proc, req *Request) {
 	if a.cfg.CarryDeficit {
 		deficit = a.carriedDeficit
 	}
+	failures := 0 // consecutive failed attempts on the current chunk
 	for remaining > 0 {
 		// The limit is re-read per sub-request: a limit installed while a
 		// large request is in flight paces its remaining chunks, matching
@@ -369,10 +450,48 @@ func (a *Agent) execute(p *des.Proc, req *Request) {
 		// Step 3: the sub-request itself is a blocking transfer at full
 		// speed; throttling happens through the duty cycle.
 		start, end := a.fs.Transfer(p, req.Stats.Class, chunk, a.cfg.FlowWeight, pfs.Unlimited, a.cfg.Tag)
-		req.Stats.Segments = append(req.Stats.Segments, Segment{Start: start, End: end})
-		actual := end.Sub(start).Seconds() + queued
+		if a.faults != nil {
+			// A straggler node moves its bytes at channel speed but hands
+			// them over late: the sub-request stretches by the slowdown.
+			if slow := a.faults.NodeSlowdown(a.cfg.Tag.Node); slow > 1 {
+				p.Sleep(des.DurationOf(end.Sub(start).Seconds() * (slow - 1)))
+				end = p.Now()
+			}
+		}
+		// The first segment extends back over the queue wait, so segment-
+		// reconstructed Δt° includes it; subsequent chunks start clean.
+		segStart := start.Add(-queued)
 		queued = 0
+		req.Stats.Segments = append(req.Stats.Segments, Segment{Start: segStart, End: end})
+		actual := end.Sub(segStart).Seconds()
 		a.chargeInterference(end.Sub(start).Seconds(), chunk)
+
+		if a.faults != nil {
+			if prob := a.faults.ErrorProb(req.Stats.Class); prob > 0 &&
+				a.e.Rand().Float64() < prob {
+				// Transient I/O error: the attempt burned wire time but
+				// delivered nothing. The wasted time banks into the
+				// deficit (it was real wall time the pacing must absorb);
+				// the chunk is retried after an exponential backoff on
+				// the simulated clock, bounded by RetryMax.
+				if limited {
+					deficit += actual
+				}
+				failures++
+				if failures > a.cfg.RetryMax {
+					a.retryExhausted++
+					req.Stats.Failed = true
+					break
+				}
+				req.Stats.Retries++
+				a.retries++
+				d := retryBackoff(a.cfg, failures)
+				p.Sleep(d)
+				req.Stats.BackoffSlept += d
+				continue
+			}
+		}
+		failures = 0
 		remaining -= chunk
 
 		if !limited {
@@ -405,21 +524,40 @@ func (a *Agent) execute(p *des.Proc, req *Request) {
 	if a.cfg.CarryDeficit {
 		a.carriedDeficit = deficit
 	}
-	a.totalBytes[req.Stats.Class] += req.Stats.Bytes
+	// Only delivered bytes count: a request abandoned on retry exhaustion
+	// left its remaining bytes untransferred.
+	a.totalBytes[req.Stats.Class] += req.Stats.Bytes - remaining
 	req.Stats.End = p.Now()
+	a.maybeHiccup(req)
+}
 
-	// An unpaced request (the agent never yielded into a timed sleep)
-	// competed for the host's cores at full tilt; occasionally that costs
-	// the host a scheduling hiccup.
-	if a.host != nil && a.cfg.HiccupProb > 0 && req.Stats.Async &&
-		req.Stats.SleptFor == 0 && req.Stats.Bytes > 0 {
-		rng := a.e.Rand()
-		if rng.Float64() < a.cfg.HiccupProb {
-			delay := rng.ExpFloat64() * a.cfg.HiccupMean.Seconds()
-			a.host.AddInterference(delay)
-			a.hiccups++
-		}
+// maybeHiccup models the scheduling cost of an unpaced request: the agent
+// never yielded into a timed sleep, so it competed for the host's cores at
+// full tilt; occasionally that costs the host a scheduling hiccup.
+func (a *Agent) maybeHiccup(req *Request) {
+	if a.host == nil || a.cfg.HiccupProb <= 0 || !req.Stats.Async ||
+		req.Stats.SleptFor != 0 || req.Stats.Bytes <= 0 {
+		return
 	}
+	rng := a.e.Rand()
+	if rng.Float64() < a.cfg.HiccupProb {
+		delay := rng.ExpFloat64() * a.cfg.HiccupMean.Seconds()
+		a.host.AddInterference(delay)
+		a.hiccups++
+	}
+}
+
+// retryBackoff returns the sleep before the failures-th consecutive retry:
+// RetryBackoff × 2^(failures−1), capped at RetryBackoffMax.
+func retryBackoff(cfg Config, failures int) des.Duration {
+	if failures > 20 {
+		return cfg.RetryBackoffMax
+	}
+	d := cfg.RetryBackoff << (failures - 1)
+	if d <= 0 || d > cfg.RetryBackoffMax {
+		d = cfg.RetryBackoffMax
+	}
+	return d
 }
 
 // chargeInterference converts one transfer's duration and rate into a

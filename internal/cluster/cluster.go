@@ -10,6 +10,7 @@ import (
 
 	"iobehind/internal/adio"
 	"iobehind/internal/des"
+	"iobehind/internal/faults"
 	"iobehind/internal/ftio"
 	"iobehind/internal/metrics"
 	"iobehind/internal/mpi"
@@ -110,6 +111,11 @@ type Config struct {
 	// boundary. Excluded from JSON so configs stay hashable as sweep
 	// cache keys (a func is runtime wiring, not point identity).
 	Forecasts func(job int, now des.Time) (sched.Forecast, bool) `json:"-"`
+	// Faults, when non-nil, describes injected fault windows (capacity
+	// degradation, outages, server stalls, stragglers, transient errors).
+	// Pure data: it participates in sweep cache keys, and the runtime
+	// injector is constructed per run from it.
+	Faults *faults.Config `json:",omitempty"`
 	// Debug prints monitor decisions.
 	Debug bool
 }
@@ -154,6 +160,10 @@ type Result struct {
 	LimitToggles int
 	// Makespan is when the last job finished.
 	Makespan des.Time
+	// FaultWindows is the number of injected fault windows (after random
+	// generation); Retries sums the jobs' transient-error retries.
+	FaultWindows int
+	Retries      int
 }
 
 // Run executes the scenario and returns its result.
@@ -196,6 +206,9 @@ func Run(cfg Config) (*Result, error) {
 		running: make([]bool, len(cfg.Jobs)),
 		active:  make([]int, len(cfg.Jobs)),
 	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		sim.injector = faults.New(e, fs, *cfg.Faults)
+	}
 	for i := range cfg.Jobs {
 		res.Bandwidth = append(res.Bandwidth,
 			&metrics.Series{Name: fmt.Sprintf("job%d", i)})
@@ -220,6 +233,14 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("cluster: %d jobs did not finish", len(cfg.Jobs)-sim.done)
 	}
 	res.Makespan = sim.makespan
+	if sim.injector != nil {
+		res.FaultWindows = len(sim.injector.Windows())
+		for _, j := range sim.jobs {
+			for rank := 0; rank < j.spec.Nodes; rank++ {
+				res.Retries += j.sys.Agent(rank).Retries()
+			}
+		}
+	}
 	e.Shutdown() // reap the monitor process
 	return res, nil
 }
@@ -240,7 +261,8 @@ type simulation struct {
 	running []bool
 	active  []int // active flows per job (both channels)
 
-	arbiter *sched.Arbiter
+	arbiter  *sched.Arbiter
+	injector *faults.Injector
 }
 
 // job is one running job's handle.
@@ -311,7 +333,12 @@ func (s *simulation) start(j *job) {
 		FlowWeight:   1, // one rank per node ⇒ job weight = node count
 		RanksPerNode: 1,
 	})
-	j.tracer = tmio.Attach(j.sys, tmio.Config{DisableOverhead: true})
+	tcfg := tmio.Config{DisableOverhead: true}
+	if s.injector != nil {
+		j.sys.SetFaults(s.injector)
+		tcfg.FaultOracle = s.injector.Overlaps
+	}
+	j.tracer = tmio.Attach(j.sys, tcfg)
 	if s.arbiter != nil {
 		jj := j
 		s.arbiter.Register(sched.App{
@@ -424,6 +451,16 @@ func (s *simulation) startMonitor() {
 			}
 			for id, j := range s.jobs {
 				s.arbiter.SetActive(id, s.active[id] > 0)
+				if s.injector != nil {
+					// Quarantine requirements measured during the last tick
+					// if a fault window touched it: the arbiter keeps the
+					// last clean value instead.
+					from := p.Now().Add(-s.cfg.MonitorInterval)
+					if from < 0 {
+						from = 0
+					}
+					s.arbiter.SetFaulty(id, s.injector.Overlaps(pfs.Write, from, p.Now()))
+				}
 				if j.spec.Async && j.tracer != nil && s.running[id] {
 					// Feed the worst (largest) rank-level requirement: a
 					// job-level cap must accommodate its hungriest rank.

@@ -26,6 +26,7 @@ import (
 	"iobehind/internal/adio"
 	"iobehind/internal/cluster"
 	"iobehind/internal/des"
+	"iobehind/internal/faults"
 	"iobehind/internal/mpi"
 	"iobehind/internal/mpiio"
 	"iobehind/internal/pfs"
@@ -68,11 +69,12 @@ func stormAgent() adio.Config {
 
 // stack is one assembled simulation.
 type stack struct {
-	engine *des.Engine
-	world  *mpi.World
-	fs     *pfs.PFS
-	sys    *mpiio.System
-	tracer *tmio.Tracer
+	engine   *des.Engine
+	world    *mpi.World
+	fs       *pfs.PFS
+	sys      *mpiio.System
+	tracer   *tmio.Tracer
+	injector *faults.Injector
 }
 
 // spec describes one traced run.
@@ -83,6 +85,7 @@ type spec struct {
 	agent    adio.Config
 	tracer   tmio.Config
 	fsCfg    *pfs.Config
+	faults   *faults.Config
 }
 
 // build assembles the stack for a spec.
@@ -101,8 +104,14 @@ func build(sp spec) *stack {
 	sys := mpiio.NewSystem(w, fs, sp.agent)
 	tcfg := sp.tracer
 	tcfg.Strategy = sp.strategy
+	var inj *faults.Injector
+	if sp.faults != nil && !sp.faults.Empty() {
+		inj = faults.New(e, fs, *sp.faults)
+		sys.SetFaults(inj)
+		tcfg.FaultOracle = inj.Overlaps
+	}
 	tr := tmio.Attach(sys, tcfg)
-	return &stack{engine: e, world: w, fs: fs, sys: sys, tracer: tr}
+	return &stack{engine: e, world: w, fs: fs, sys: sys, tracer: tr, injector: inj}
 }
 
 // execute runs main on the stack's world and returns the report.
@@ -142,7 +151,7 @@ func RunExperiment(ctx context.Context, r *runner.Runner, exp *Experiment) (Rend
 
 // FigOrder lists each distinct experiment once, in figure order — the
 // iteration order of "run everything".
-var FigOrder = []string{"1", "3", "4", "5", "7", "8", "9", "10", "11", "13", "14"}
+var FigOrder = []string{"1", "3", "4", "5", "7", "8", "9", "10", "11", "13", "14", "faults"}
 
 // experimentsByFig maps every figure id to its experiment constructor.
 var experimentsByFig = map[string]func(Scale) *Experiment{
@@ -152,7 +161,7 @@ var experimentsByFig = map[string]func(Scale) *Experiment{
 	"7": Fig07Experiment, "8": Fig08Experiment,
 	"9": Fig09Experiment, "10": Fig10Experiment,
 	"11": Fig11Experiment, "13": Fig13Experiment,
-	"14": Fig14Experiment,
+	"14": Fig14Experiment, "faults": FigFaultsExperiment,
 }
 
 // ByFig returns the experiment behind a figure id ("1".."14"; "2" and
@@ -179,6 +188,7 @@ type pointConfig struct {
 	Agent    adio.Config
 	Tracer   tmio.Config
 	FS       *pfs.Config             `json:",omitempty"`
+	Faults   *faults.Config          `json:",omitempty"`
 	Hacc     *workloads.HaccConfig   `json:",omitempty"`
 	Wacomm   *workloads.WacommConfig `json:",omitempty"`
 	Phased   *workloads.PhasedConfig `json:",omitempty"`
@@ -198,6 +208,7 @@ func (sp spec) config(fig string, scale Scale, workload string) pointConfig {
 		Agent:    sp.agent,
 		Tracer:   sp.tracer,
 		FS:       sp.fsCfg,
+		Faults:   sp.faults,
 	}
 }
 

@@ -80,6 +80,7 @@ type Stats struct {
 	Ingested     int64 // records aggregated
 	Dropped      int64 // records discarded by queue backpressure
 	DecodeErrors int64 // lines that failed to parse
+	Faulty       int64 // records marked as measured inside a fault window
 	Apps         int   // distinct applications seen
 }
 
@@ -101,6 +102,7 @@ type Server struct {
 	ingested     atomic.Int64
 	dropped      atomic.Int64
 	decodeErrors atomic.Int64
+	faulty       atomic.Int64
 
 	// ingestHook, when non-nil, runs before each record is aggregated;
 	// tests use it to simulate a slow aggregator.
@@ -206,6 +208,7 @@ func (s *Server) Stats() Stats {
 		Ingested:     s.ingested.Load(),
 		Dropped:      s.dropped.Load(),
 		DecodeErrors: s.decodeErrors.Load(),
+		Faulty:       s.faulty.Load(),
 		Apps:         s.reg.len(),
 	}
 }
@@ -239,6 +242,9 @@ func (s *Server) handle(c net.Conn) {
 			}
 			s.reg.ingest(rec, fallbackID)
 			s.ingested.Add(1)
+			if rec.Faulty {
+				s.faulty.Add(1)
+			}
 		}
 	}()
 

@@ -60,6 +60,16 @@ type seriesJSON struct {
 	B                 []pointJSON `json:"b"`
 	BL                []pointJSON `json:"bl"`
 	T                 []pointJSON `json:"t"`
+	// Faults annotates the merged windows during which B was measured
+	// against degraded hardware; Retries sums the app's transient-error
+	// retries. Both absent when no fault was ever streamed.
+	Faults  []spanJSON `json:"faults,omitempty"`
+	Retries int64      `json:"retries,omitempty"`
+}
+
+type spanJSON struct {
+	Ts float64 `json:"ts"`
+	Te float64 `json:"te"`
 }
 
 func pointsToJSON(series *metrics.Series) []pointJSON {
@@ -104,13 +114,20 @@ func (s *Server) serveSeries(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown app", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, seriesJSON{
+	out := seriesJSON{
 		ID:                series.ID,
 		RequiredBandwidth: series.B.Max(),
 		B:                 pointsToJSON(series.B),
 		BL:                pointsToJSON(series.BL),
 		T:                 pointsToJSON(series.T),
-	})
+		Retries:           series.Retries,
+	}
+	for _, iv := range series.Faults {
+		out.Faults = append(out.Faults, spanJSON{
+			Ts: iv.Start.Seconds(), Te: iv.End.Seconds(),
+		})
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) {
@@ -163,6 +180,7 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("iogateway_records_ingested_total", "Stream records aggregated.", st.Ingested)
 	counter("iogateway_records_dropped_total", "Stream records discarded by queue backpressure.", st.Dropped)
 	counter("iogateway_decode_errors_total", "Stream lines that failed to parse.", st.DecodeErrors)
+	counter("iogateway_records_faulty_total", "Stream records marked as measured inside an injected fault window.", st.Faulty)
 	gauge("iogateway_apps", "Distinct applications seen.", int64(st.Apps))
 
 	infos := s.Apps()
@@ -178,6 +196,14 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# HELP iogateway_app_last_activity_seconds End of the latest phase window seen, in virtual seconds.\n# TYPE iogateway_app_last_activity_seconds gauge\n")
 		for _, info := range infos {
 			fmt.Fprintf(&b, "iogateway_app_last_activity_seconds{app=%q} %g\n", info.ID, info.LastActivity.Seconds())
+		}
+		fmt.Fprintf(&b, "# HELP iogateway_app_fault_phases_total Phases per application measured inside an injected fault window.\n# TYPE iogateway_app_fault_phases_total counter\n")
+		for _, info := range infos {
+			fmt.Fprintf(&b, "iogateway_app_fault_phases_total{app=%q} %d\n", info.ID, info.FaultPhases)
+		}
+		fmt.Fprintf(&b, "# HELP iogateway_app_retries_total Transient-error retries per application.\n# TYPE iogateway_app_retries_total counter\n")
+		for _, info := range infos {
+			fmt.Fprintf(&b, "iogateway_app_retries_total{app=%q} %d\n", info.ID, info.Retries)
 		}
 	}
 	w.Write([]byte(b.String()))

@@ -70,6 +70,12 @@ type appState struct {
 	records int64
 	version int
 	lastTe  des.Time
+
+	// Fault annotations: phases marked Faulty by the tracer (their spans
+	// are merged for the series surface) and the summed retry count.
+	faultPhases int64
+	retries     int64
+	faultSpans  []metrics.Interval
 }
 
 // registry demultiplexes records into per-app state.
@@ -134,10 +140,18 @@ func (r *registry) ingest(rec tmio.StreamRecord, fallbackID string) {
 	if rec.V > st.version {
 		st.version = rec.V
 	}
+	if rec.Faulty {
+		st.faultPhases++
+	}
+	st.retries += int64(rec.Retries)
 	ph := RecordPhase(rec)
 	if ph.End > ph.Start {
 		st.b.Add(ph)
 		st.bPhases = append(st.bPhases, ph)
+		if rec.Faulty {
+			st.faultSpans = append(st.faultSpans,
+				metrics.Interval{Start: ph.Start, End: ph.End})
+		}
 		if ph.End > st.lastTe {
 			st.lastTe = ph.End
 		}
@@ -162,6 +176,10 @@ type AppInfo struct {
 	RequiredBandwidth float64
 	// LastActivity is the end of the latest phase window seen.
 	LastActivity des.Time
+	// FaultPhases counts records marked as measured inside a fault window;
+	// Retries sums their transient-error retry counts.
+	FaultPhases int64
+	Retries     int64
 }
 
 // Apps lists the applications seen so far, sorted by ID.
@@ -190,6 +208,8 @@ func (s *Server) AppInfo(id string) (AppInfo, bool) {
 		Version:           st.version,
 		RequiredBandwidth: st.b.Max(),
 		LastActivity:      st.lastTe,
+		FaultPhases:       st.faultPhases,
+		Retries:           st.retries,
 	}, true
 }
 
@@ -200,6 +220,12 @@ type AppSeries struct {
 	// sweep, T the achieved-throughput sweep — the same three series the
 	// offline report derives, available mid-run.
 	B, BL, T *metrics.Series
+	// Faults is the union of the faulty phases' windows (sorted,
+	// overlapping spans merged): the intervals over which B was measured
+	// against degraded hardware and excluded from limiter feedback.
+	Faults []metrics.Interval
+	// Retries sums the app's transient-error retries streamed so far.
+	Retries int64
 }
 
 // AppSeries snapshots the application's B/B_L/T series. Later ingests do
@@ -212,11 +238,41 @@ func (s *Server) AppSeries(id string) (AppSeries, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return AppSeries{
-		ID: st.id,
-		B:  st.b.Series(),
-		BL: st.bl.Series(),
-		T:  st.t.Series(),
+		ID:      st.id,
+		B:       st.b.Series(),
+		BL:      st.bl.Series(),
+		T:       st.t.Series(),
+		Faults:  mergeSpans(st.faultSpans),
+		Retries: st.retries,
 	}, true
+}
+
+// mergeSpans unions possibly-overlapping intervals into a sorted, disjoint
+// cover. The input is not mutated.
+func mergeSpans(spans []metrics.Interval) []metrics.Interval {
+	if len(spans) == 0 {
+		return nil
+	}
+	sorted := make([]metrics.Interval, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	out := sorted[:1]
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
 }
 
 // Prediction is a next-burst forecast for one application, derived from

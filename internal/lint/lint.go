@@ -86,7 +86,7 @@ func Analyzers() []*Analyzer {
 // virtual-time simulation.
 var simPackages = []string{
 	"des", "sched", "cluster", "adio", "pfs", "mpi", "mpiio",
-	"region", "metrics", "ftio", "workloads", "experiments",
+	"region", "metrics", "ftio", "workloads", "experiments", "faults",
 }
 
 // isSimPackage reports whether path is one of the simulation packages

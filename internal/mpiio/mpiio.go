@@ -78,6 +78,14 @@ func (s *System) FS() *pfs.PFS { return s.fs }
 // bandwidth-limit control.
 func (s *System) Agent(rank int) *adio.Agent { return s.agents[rank] }
 
+// SetFaults installs (or removes, with nil) the fault model every rank's
+// agent consults per sub-request.
+func (s *System) SetFaults(m adio.FaultModel) {
+	for _, a := range s.agents {
+		a.SetFaults(m)
+	}
+}
+
 // Close shuts down all agents. Idempotent.
 func (s *System) Close() {
 	if s.closed {

@@ -19,7 +19,9 @@ type channel struct {
 	e            *des.Engine
 	name         string
 	base         float64 // configured peak capacity, bytes/s
-	capacity     float64 // current effective capacity (noise applied)
+	capacity     float64 // current effective capacity (noise and faults applied)
+	noiseFactor  float64 // stationary noise scaling, (0,1]
+	faultFactor  float64 // fault-injection scaling, [0,1]
 	flows        []*Flow
 	last         des.Time // time progress was last integrated
 	cancel       func()   // pending completion event, if any
@@ -67,7 +69,11 @@ func (c *channel) pruneRecent() {
 }
 
 func newChannel(e *des.Engine, name string, capacity float64) *channel {
-	return &channel{e: e, name: name, base: capacity, capacity: capacity}
+	return &channel{
+		e: e, name: name,
+		base: capacity, capacity: capacity,
+		noiseFactor: 1, faultFactor: 1,
+	}
 }
 
 // Flow is one in-flight transfer on a channel.
@@ -135,6 +141,35 @@ func (c *channel) start(bytes, weight, cap float64, tag Tag) *Flow {
 	c.markDirty()
 	c.maybeStartNoise()
 	return f
+}
+
+// setNoiseFactor installs the stationary-noise scaling and reapplies the
+// combined effective capacity.
+func (c *channel) setNoiseFactor(f float64) {
+	c.noiseFactor = f
+	c.applyFactors()
+}
+
+// setFaultFactor installs the fault-injection scaling (clamped to [0,1])
+// and reapplies the combined effective capacity. A factor of 0 (an
+// outage) lands on setCapacity's 1 B/s floor: flows stall for the window
+// but can never deadlock the simulation.
+func (c *channel) setFaultFactor(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	c.faultFactor = f
+	c.applyFactors()
+}
+
+// applyFactors recomputes the effective capacity as base × noise × fault,
+// so the two degradation sources compose instead of overwriting each
+// other.
+func (c *channel) applyFactors() {
+	c.setCapacity(c.base * c.noiseFactor * c.faultFactor)
 }
 
 // setCapacity changes the effective channel capacity (noise injection).

@@ -50,7 +50,7 @@ func (c *channel) maybeStartNoise() {
 	step = func() {
 		if len(c.flows) == 0 {
 			c.noiseOn = false
-			c.setCapacity(c.base)
+			c.setNoiseFactor(1)
 			return
 		}
 		rng := c.e.Rand()
@@ -58,7 +58,7 @@ func (c *channel) maybeStartNoise() {
 		if cfg.DipProbability > 0 && rng.Float64() < cfg.DipProbability {
 			factor = floor
 		}
-		c.setCapacity(c.base * factor)
+		c.setNoiseFactor(factor)
 		gap := des.DurationOf(rng.ExpFloat64() * cfg.Interval.Seconds())
 		if gap < des.Millisecond {
 			gap = des.Millisecond

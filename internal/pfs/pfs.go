@@ -141,6 +141,33 @@ func (p *PFS) Transfer(proc *des.Proc, class Class, bytes int64, weight, cap flo
 	return f.Started(), f.Finished()
 }
 
+// SetFaultFactor scales the effective capacity of the class's channel by
+// factor in [0,1] (1 restores full capacity; 0 is an outage, landing on
+// the channel's 1 B/s floor so flows stall but never deadlock). The
+// factor composes multiplicatively with the noise model: effective
+// capacity = base × noise × fault. The fault-injection subsystem
+// (internal/faults) drives this on window boundaries.
+func (p *PFS) SetFaultFactor(class Class, factor float64) {
+	p.chans[class].setFaultFactor(factor)
+}
+
+// SetFaultFactors installs both classes' fault factors at once. With
+// SharedChannels the two classes share one channel and the stricter
+// (smaller) factor applies — an outage on either direction stalls the
+// combined traffic.
+func (p *PFS) SetFaultFactors(write, read float64) {
+	if p.chans[Read] == p.chans[Write] {
+		p.chans[Write].setFaultFactor(math.Min(write, read))
+		return
+	}
+	p.chans[Write].setFaultFactor(write)
+	p.chans[Read].setFaultFactor(read)
+}
+
+// FaultFactor returns the fault factor currently applied to the class's
+// channel (1 when healthy).
+func (p *PFS) FaultFactor(class Class) float64 { return p.chans[class].faultFactor }
+
 // ActiveFlows returns the number of in-flight flows on the class channel.
 func (p *PFS) ActiveFlows(c Class) int { return len(p.chans[c].flows) }
 

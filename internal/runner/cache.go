@@ -16,7 +16,10 @@ import (
 // all entries at once. Bump it when the meaning of cached results changes
 // (e.g. a simulation-model fix that alters outputs without any config
 // change).
-const cacheVersion = "iobehind-runner-v1"
+// v2: adio accounting fixes (storm-queue time folded into the first
+// segment, burst-buffered stats aligned with the direct path) changed
+// report contents for unchanged configs.
+const cacheVersion = "iobehind-runner-v2"
 
 // Cache memoizes completed sweep points on disk. Entries are gob files
 // named by a SHA-256 over (cache version, point key, canonical JSON of

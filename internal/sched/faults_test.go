@@ -1,0 +1,47 @@
+package sched
+
+import "testing"
+
+// TestSetFaultyQuarantinesRequired verifies the arbiter's fault
+// quarantine: while an application is marked faulty, measured required
+// bandwidths are discarded (the last healthy measurement survives), and
+// the gate reopens as soon as the mark clears.
+func TestSetFaultyQuarantinesRequired(t *testing.T) {
+	a := New(CapAlways, 1.0)
+	a.Register(App{ID: 7, Async: true, Weight: 1, Apply: func(float64) {}}, 5e6)
+
+	a.SetRequired(7, 10e6)
+	if got := a.apps[7].required; got != 10e6 {
+		t.Fatalf("healthy measurement not recorded: %v", got)
+	}
+
+	a.SetFaulty(7, true)
+	if !a.Faulty(7) {
+		t.Fatal("Faulty(7) false after SetFaulty")
+	}
+	a.SetRequired(7, 1e3) // tainted: must be discarded
+	if got := a.apps[7].required; got != 10e6 {
+		t.Fatalf("tainted measurement overwrote the healthy one: %v", got)
+	}
+
+	a.SetFaulty(7, false)
+	if a.Faulty(7) {
+		t.Fatal("Faulty(7) true after clearing")
+	}
+	a.SetRequired(7, 20e6)
+	if got := a.apps[7].required; got != 20e6 {
+		t.Fatalf("post-fault measurement discarded: %v", got)
+	}
+}
+
+func TestSetFaultyUnknownAppIsNoOp(t *testing.T) {
+	a := New(CapAlways, 1.0)
+	a.SetFaulty(42, true) // must not panic or create state
+	if a.Faulty(42) {
+		t.Fatal("unknown app reported faulty")
+	}
+	a.SetRequired(42, 1e6)
+	if len(a.apps) != 0 {
+		t.Fatal("updates for unknown apps created state")
+	}
+}

@@ -72,6 +72,7 @@ type appState struct {
 	active      bool    // currently has I/O in flight
 	running     bool
 	capped      bool
+	faulty      bool // measurements currently tainted by a fault window
 	forecast    Forecast
 	hasForecast bool
 }
@@ -133,11 +134,29 @@ func (a *Arbiter) Unregister(id int) {
 	}
 }
 
-// SetRequired updates an application's measured required bandwidth.
+// SetRequired updates an application's measured required bandwidth. While
+// the application is marked faulty (SetFaulty) the update is discarded: a
+// requirement measured against degraded hardware would poison the caps the
+// arbiter derives, so the last clean value survives the fault window.
 func (a *Arbiter) SetRequired(id int, b float64) {
-	if st, ok := a.apps[id]; ok && b > 0 {
+	if st, ok := a.apps[id]; ok && b > 0 && !st.faulty {
 		st.required = b
 	}
+}
+
+// SetFaulty marks (or clears) an application's measurements as tainted by
+// an active fault window; see SetRequired. The cluster monitor drives it
+// from the fault injector each tick.
+func (a *Arbiter) SetFaulty(id int, faulty bool) {
+	if st, ok := a.apps[id]; ok {
+		st.faulty = faulty
+	}
+}
+
+// Faulty reports whether the application is currently marked faulty.
+func (a *Arbiter) Faulty(id int) bool {
+	st, ok := a.apps[id]
+	return ok && st.faulty
 }
 
 // SetActive marks whether the application currently has I/O in flight.

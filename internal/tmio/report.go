@@ -62,6 +62,16 @@ type Report struct {
 	// (bytes) across all ranks and phases.
 	WindowHist metrics.Histogram `json:"-"`
 	SizeHist   metrics.Histogram `json:"-"`
+
+	// Fault/resilience accounting. FaultPhases counts rank-phases measured
+	// inside an injected fault window (their B was excluded from limiter
+	// feedback); Retries and RetriesExhausted sum the agents' transient-
+	// error retries and abandoned requests; FaultSpans carries the tainted
+	// phases' windows for annotation (Value is the excluded B).
+	FaultPhases      int            `json:"fault_phases,omitempty"`
+	Retries          int            `json:"retries,omitempty"`
+	RetriesExhausted int            `json:"retries_exhausted,omitempty"`
+	FaultSpans       []region.Phase `json:"-"`
 }
 
 // Report aggregates the tracer's per-rank records. Call it after the
@@ -111,10 +121,20 @@ func (t *Tracer) Report() *Report {
 		if rt.limitApplied && (rep.FirstLimitAt == 0 || rt.firstLimitAt < rep.FirstLimitAt) {
 			rep.FirstLimitAt = rt.firstLimitAt
 		}
+		agent := t.sys.Agent(rt.rank.ID())
+		rep.Retries += agent.Retries()
+		rep.RetriesExhausted += agent.RetryExhausted()
 
 		// Phases → region inputs; exploit from operation windows.
 		for _, ph := range rt.phases {
 			rep.WindowHist.Observe(ph.te.Sub(ph.ts).Seconds())
+			if ph.faulty {
+				rep.FaultPhases++
+				rep.FaultSpans = append(rep.FaultSpans, region.Phase{
+					Rank: rt.rank.ID(), Index: ph.index,
+					Start: ph.ts, End: ph.te, Value: ph.b,
+				})
+			}
 			rep.BPhases = append(rep.BPhases, region.Phase{
 				Rank: rt.rank.ID(), Index: ph.index,
 				Start: ph.ts, End: ph.te, Value: ph.b,

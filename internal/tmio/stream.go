@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iobehind/internal/des"
@@ -53,6 +54,11 @@ type StreamRecord struct {
 	T      float64 `json:"t,omitempty"`
 	TtsSec float64 `json:"tts,omitempty"`
 	TteSec float64 `json:"tte,omitempty"`
+	// Faulty marks a phase measured inside an injected fault window (its B
+	// was excluded from limiter feedback); Retries counts the transient-
+	// error retries of the phase's requests. Older decoders ignore both.
+	Faulty  bool `json:"fault,omitempty"`
+	Retries int  `json:"retries,omitempty"`
 }
 
 // SinkOptions tunes the TCP sink's buffering and reconnection behaviour.
@@ -129,7 +135,14 @@ type TCPSink struct {
 	// Writer-goroutine state (no lock needed after construction).
 	conn net.Conn
 	rng  *rand.Rand
+
+	// dials counts connection attempts (observability; the redial-rate
+	// test asserts the backoff bounds it).
+	dials atomic.Int64
 }
+
+// Dials returns how many TCP connection attempts the sink has made.
+func (s *TCPSink) Dials() int64 { return s.dials.Load() }
 
 // DialSink connects to addr (e.g. "127.0.0.1:5555") with default options.
 func DialSink(addr string) (*TCPSink, error) {
@@ -306,8 +319,23 @@ func (s *TCPSink) redial(final bool) bool {
 	if s.addr == "" {
 		return false
 	}
+	// Guard against zero-valued options reaching this loop (a sink built
+	// through newSink skips withDefaults): a zero BackoffMin would make
+	// Int63n(0+1) return 0 and backoff*2 stay 0 — a busy-loop hammering
+	// the collector with dials. Floor both bounds.
 	backoff := s.opts.BackoffMin
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := s.opts.BackoffMax
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
+	if maxBackoff < backoff {
+		maxBackoff = backoff
+	}
 	for attempt := 0; ; attempt++ {
+		s.dials.Add(1)
 		conn, err := net.DialTimeout("tcp", s.addr, s.opts.DialTimeout)
 		if err == nil {
 			s.conn = conn
@@ -321,6 +349,7 @@ func (s *TCPSink) redial(final bool) bool {
 		d := backoff/2 + time.Duration(s.rng.Int63n(int64(backoff)+1))
 		if !s.sleep(d) {
 			// Close arrived mid-backoff: one last immediate attempt.
+			s.dials.Add(1)
 			conn, err := net.DialTimeout("tcp", s.addr, s.opts.DialTimeout)
 			if err == nil {
 				s.conn = conn
@@ -329,8 +358,8 @@ func (s *TCPSink) redial(final bool) bool {
 			return false
 		}
 		backoff *= 2
-		if backoff > s.opts.BackoffMax {
-			backoff = s.opts.BackoffMax
+		if backoff > maxBackoff {
+			backoff = maxBackoff
 		}
 	}
 }
@@ -382,14 +411,16 @@ func (t *Tracer) emitPhase(rank int, rec phaseRecord) {
 		return
 	}
 	sr := StreamRecord{
-		V:     StreamVersion,
-		App:   t.cfg.StreamID,
-		Rank:  rank,
-		Phase: rec.index,
-		TsSec: rec.ts.Seconds(),
-		TeSec: rec.te.Seconds(),
-		B:     rec.b,
-		BL:    rec.bl,
+		V:       StreamVersion,
+		App:     t.cfg.StreamID,
+		Rank:    rank,
+		Phase:   rec.index,
+		TsSec:   rec.ts.Seconds(),
+		TeSec:   rec.te.Seconds(),
+		B:       rec.b,
+		BL:      rec.bl,
+		Faulty:  rec.faulty,
+		Retries: rec.retries,
 	}
 	// Throughput over the phase's completed transfers. Requests still in
 	// flight at phase close (their wait has not finished) have no end

@@ -125,6 +125,15 @@ type Config struct {
 	// meaningful requirement — the window only measures interception
 	// overhead — and is excluded from B_ij. Defaults to 1 ms.
 	MinWindow des.Duration
+	// FaultOracle, when non-nil, reports whether a fault window overlapped
+	// [from, to) on the class (internal/faults.Injector.Overlaps fits).
+	// A phase measured inside a fault window is tainted: it is recorded
+	// and emitted (with its Faulty mark) but neither derives a limit nor
+	// enters the limiter's trend history — degraded measurements must not
+	// poison the control loop, and the pre-fault limit survives until the
+	// first clean phase re-derives a fresh one. Runtime wiring, not
+	// configuration: excluded from cache keys.
+	FaultOracle func(class pfs.Class, from, to des.Time) bool `json:"-"`
 }
 
 // Tracer observes one world's MPI-IO traffic and applies the limiting
@@ -223,6 +232,8 @@ type phaseRecord struct {
 	b        float64  // B_ij
 	bl       float64  // the scaled value (limit derived from this phase)
 	limited  bool
+	faulty   bool // measured inside a fault window; excluded from feedback
+	retries  int  // transient-error retries summed over the phase's requests
 	requests []*mpiio.Request
 }
 
@@ -326,6 +337,10 @@ func (rt *rankTracer) closePhase(te des.Time, applyLimit bool) {
 		b /= float64(len(rt.open))
 	}
 
+	class := pfs.Write
+	if len(reqs) > 0 {
+		class = reqs[0].Class()
+	}
 	rec := phaseRecord{
 		index:    len(rt.phases),
 		ts:       ts,
@@ -333,14 +348,24 @@ func (rt *rankTracer) closePhase(te des.Time, applyLimit bool) {
 		b:        b,
 		requests: reqs,
 	}
+	for _, q := range reqs {
+		rec.retries += q.Stats().Retries
+	}
 	// A degenerate window (the wait was reached immediately, e.g. the
 	// application's very last request) measures nothing: the required
 	// bandwidth is unbounded, not zero, so no new limit is derived.
 	if b <= 0 {
 		applyLimit = false
 	}
+	// A phase overlapping a fault window measured degraded hardware, not
+	// the application's requirement: record it, but derive no limit from
+	// it and keep it out of the trend history, so the first clean phase
+	// recovers the control loop.
+	if rt.t.cfg.FaultOracle != nil && b > 0 && rt.t.cfg.FaultOracle(class, ts, te) {
+		rec.faulty = true
+		applyLimit = false
+	}
 	if applyLimit && rt.t.cfg.Strategy.Limits() {
-		class := reqs[0].Class()
 		var next float64
 		if rt.t.cfg.Strategy.Strategy == Frequent {
 			rt.freq.Observe(b)
@@ -370,14 +395,11 @@ func (rt *rankTracer) closePhase(te des.Time, applyLimit bool) {
 			rt.firstLimitAt = te
 		}
 	}
-	if b > 0 {
+	if b > 0 && !rec.faulty {
 		rt.lastB = b
 		rt.haveLastB = true
-		if len(reqs) > 0 {
-			class := reqs[0].Class()
-			rt.classLastB[class] = b
-			rt.classHave[class] = true
-		}
+		rt.classLastB[class] = b
+		rt.classHave[class] = true
 	}
 	rt.phases = append(rt.phases, rec)
 	rt.open = rt.open[:0]
