@@ -3,7 +3,16 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench sweep gateway-smoke faults-smoke ci clean
+# Kernel hot-path benchmark settings shared by bench, bench-json and
+# bench-check. Fixed -benchtime with -count repetitions replaces the old
+# noisy -benchtime=1x: iobenchdiff collapses the repetitions to the
+# per-metric minimum, so one slow run cannot fake a regression.
+BENCH_PKGS      = ./internal/des ./internal/pfs
+BENCH_TIME     ?= 200ms
+BENCH_COUNT    ?= 5
+NS_THRESHOLD   ?= 0.10
+
+.PHONY: all build vet lint test race bench bench-json bench-check sweep gateway-smoke faults-smoke ci clean
 
 all: ci
 
@@ -17,7 +26,9 @@ vet:
 # cache and online/offline equality rest on: no wall-clock reads or
 # global randomness in simulation packages, json:"-" on unhashable
 # cache-key fields, no float ==/!= in the interval arithmetic. See
-# docs/ARCHITECTURE.md ("Determinism & cache-key invariants").
+# docs/ARCHITECTURE.md ("Determinism & cache-key invariants"). The ./...
+# pattern keeps every command — iobenchdiff included — on the analysis
+# and build surface.
 lint:
 	$(GO) run ./cmd/iolint ./...
 
@@ -28,9 +39,11 @@ test:
 # concurrently through the worker pool (internal/runner/sweep_race_test.go),
 # asserting byte-identical rendered output vs. the serial path, the
 # telemetry gateway's concurrent ingest/query/shutdown paths, and the
-# TCPSink's reconnect/drop paths (internal/tmio stream tests).
+# TCPSink's reconnect/drop paths (internal/tmio stream tests). The
+# simulation kernel (des, pfs) rides along so the AllocsPerRun guards
+# and the event-pool recycling hold under the race detector too.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/gateway/... ./internal/tmio/... ./internal/faults/...
+	$(GO) test -race ./internal/runner/... ./internal/gateway/... ./internal/tmio/... ./internal/faults/... ./internal/des/... ./internal/pfs/...
 
 # End-to-end gateway check on ephemeral ports: gateway up, one traced
 # simulation streamed in over TCP, HTTP surface probed for series and a
@@ -44,17 +57,33 @@ gateway-smoke:
 faults-smoke:
 	$(GO) run ./cmd/iosweep -figs faults -check-faults
 
-# Figure benchmarks with the paper's headline metrics, plus the
-# serial-vs-parallel-vs-warm-cache sweep comparison.
+# Kernel hot-path benchmarks (des, pfs) plus the figure benchmarks with
+# the paper's headline metrics and the serial-vs-parallel-vs-warm-cache
+# sweep comparison. The figure benchmarks are whole-simulation runs, so
+# they get a small fixed iteration count with one repetition for noise.
 bench:
-	$(GO) test -bench=Fig -benchtime=1x .
-	$(GO) test -run xxx -bench=BenchmarkSweep -benchtime=1x .
+	$(GO) test -run xxx -bench=. -benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) $(BENCH_PKGS)
+	$(GO) test -run xxx -bench='Fig|BenchmarkSweep' -benchmem -benchtime=2x -count=2 .
+
+# Snapshot the kernel benchmarks into BENCH_<git-short-sha>.json via
+# cmd/iobenchdiff (schema documented there and in docs/ARCHITECTURE.md).
+bench-json:
+	$(GO) test -run xxx -bench=. -benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) $(BENCH_PKGS) \
+		| $(GO) run ./cmd/iobenchdiff parse -label "$$(git rev-parse --short HEAD)" -o "BENCH_$$(git rev-parse --short HEAD).json"
+
+# Fail on a >$(NS_THRESHOLD) ns/op or any allocs/op regression against
+# the committed pre-optimization baseline.
+bench-check:
+	$(GO) test -run xxx -bench=. -benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) $(BENCH_PKGS) \
+		| $(GO) run ./cmd/iobenchdiff parse -label check -o BENCH_check.json
+	$(GO) run ./cmd/iobenchdiff diff -ns-threshold $(NS_THRESHOLD) BENCH_baseline.json BENCH_check.json
 
 # Regenerate all figures as one parallel sweep with a warm disk cache.
 sweep:
 	$(GO) run ./cmd/iosweep -figs all -scale quick -j 0 -cache .iosweep-cache
 
-ci: vet build lint test race
+ci: vet build lint test race bench-check
 
 clean:
 	rm -rf .iosweep-cache
+	rm -f BENCH_check.json

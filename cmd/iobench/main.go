@@ -7,6 +7,7 @@
 //	iobench -fig 8 -scale paper
 //	iobench -fig all        # everything
 //	iobench -fig all -j 8 -cache .iosweep-cache
+//	iobench -fig 8 -cpuprofile cpu.out -memprofile mem.out
 //
 // -scale quick (default) shrinks the runs to seconds; -scale paper uses
 // the paper's configurations (up to 9216 ranks; the largest runs take
@@ -18,6 +19,9 @@
 // byte-identical at any -j. Figures still print one after another in
 // request order; to fan *all* figures' points into one flat sweep, use
 // cmd/iosweep instead.
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles covering the
+// requested figures; inspect them with `go tool pprof`.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"iobehind/internal/experiments"
+	"iobehind/internal/profiling"
 	"iobehind/internal/runner"
 )
 
@@ -59,12 +64,31 @@ var figures = map[string]func(context.Context, experiments.Scale, *runner.Runner
 var order = []string{"1", "3", "4", "5", "7", "8", "9", "10", "11", "13", "14"}
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code instead of os.Exit calls, so deferred
+// cleanup — in particular flushing pprof profiles — runs on every path.
+func run() int {
 	fig := flag.String("fig", "all", "figure to reproduce: 1,2,3,4,5,6,7,8,9,10,11,13,14 or 'all'")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	outDir := flag.String("out", "", "also write each figure's output to <out>/fig<N>.txt")
 	workers := flag.Int("j", 1, "worker pool size per figure (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache", "", "cache directory for completed points (empty disables caching)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iobench:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "iobench:", err)
+		}
+	}()
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -74,7 +98,7 @@ func main() {
 		scale = experiments.Paper
 	default:
 		fmt.Fprintf(os.Stderr, "iobench: unknown scale %q (want quick or paper)\n", *scaleFlag)
-		os.Exit(2)
+		return 2
 	}
 
 	var ids []string
@@ -85,7 +109,7 @@ func main() {
 			id = strings.TrimSpace(id)
 			if _, ok := figures[id]; !ok {
 				fmt.Fprintf(os.Stderr, "iobench: unknown figure %q\n", id)
-				os.Exit(2)
+				return 2
 			}
 			ids = append(ids, id)
 		}
@@ -96,7 +120,7 @@ func main() {
 		cache, err := runner.OpenCache(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iobench:", err)
-			os.Exit(1)
+			return 1
 		}
 		opts.Cache = cache
 	}
@@ -108,7 +132,7 @@ func main() {
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "iobench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	for _, id := range ids {
@@ -116,7 +140,7 @@ func main() {
 		res, err := figures[id](ctx, scale, r)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "iobench: figure %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		header := fmt.Sprintf("### Figure %s (%s scale, %v wall time)\n\n", id, scale,
 			time.Since(start).Round(time.Millisecond))
@@ -127,8 +151,9 @@ func main() {
 			path := filepath.Join(*outDir, "fig"+id+".txt")
 			if err := os.WriteFile(path, []byte(header+body+"\n"), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "iobench:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }

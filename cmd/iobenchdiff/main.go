@@ -1,0 +1,333 @@
+// Command iobenchdiff turns `go test -bench -benchmem` output into a
+// stable JSON snapshot and compares two snapshots for performance
+// regressions. It is the measurement loop that keeps the simulation
+// kernel's hot paths allocation-free: `make bench-json` captures a
+// snapshot per commit, `make bench-check` fails the build when ns/op
+// grows past a threshold or allocs/op grows at all relative to the
+// committed BENCH_baseline.json.
+//
+//	go test -run xxx -bench=. -benchmem ./internal/... | iobenchdiff parse -label baseline -o BENCH_baseline.json
+//	iobenchdiff diff -ns-threshold 0.10 BENCH_baseline.json BENCH_new.json
+//
+// Snapshot schema (BENCH_<label>.json):
+//
+//	{
+//	  "label": "baseline",
+//	  "benchmarks": [
+//	    {"name": "iobehind/internal/des.BenchmarkEventThroughput",
+//	     "iterations": 1000000, "ns_per_op": 250.0,
+//	     "bytes_per_op": 48, "allocs_per_op": 1}
+//	  ]
+//	}
+//
+// Benchmark names are qualified by the package path from the `pkg:`
+// header lines so identically named benchmarks in different packages
+// never collide. Repeated runs of one benchmark (-count=N) collapse to
+// the minimum of each metric: the best observed run is the least noisy
+// estimate of the code's actual cost, and using it on both sides keeps
+// the comparison fair.
+//
+// diff exits 1 when, for any benchmark present in both snapshots, the
+// new ns/op exceeds the old by more than -ns-threshold (fraction,
+// default 0.10) or the new allocs/op exceeds the old at all.
+// Benchmarks present in only one snapshot are reported but never fail
+// the check, so adding or retiring benchmarks does not break CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's aggregated result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the on-disk BENCH_<label>.json document.
+type Snapshot struct {
+	Label      string      `json:"label"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "usage: iobenchdiff parse|diff [flags] [args]")
+		return 2
+	}
+	switch args[0] {
+	case "parse":
+		return runParse(args[1:], stdin, stdout, stderr)
+	case "diff":
+		return runDiff(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "iobenchdiff: unknown command %q (want parse or diff)\n", args[0])
+		return 2
+	}
+}
+
+func runParse(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("parse", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "", "snapshot label stored in the JSON document")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := stdin
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "iobenchdiff parse: at most one input file")
+		return 2
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "iobenchdiff:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "iobenchdiff:", err)
+		return 1
+	}
+	snap.Label = *label
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "iobenchdiff: no benchmark lines found in input")
+		return 1
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "iobenchdiff:", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		stdout.Write(enc)
+		return 0
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(stderr, "iobenchdiff:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "iobenchdiff: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	return 0
+}
+
+// parseBench reads `go test -bench -benchmem` output. Lines it does not
+// recognize (headers, PASS/ok, test logs) are skipped.
+func parseBench(r io.Reader) (*Snapshot, error) {
+	byName := map[string]*Benchmark{}
+	var order []string
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		b, ok := parseBenchLine(line, pkg)
+		if !ok {
+			continue
+		}
+		prev, seen := byName[b.Name]
+		if !seen {
+			byName[b.Name] = &b
+			order = append(order, b.Name)
+			continue
+		}
+		// -count=N repetition: keep the minimum of each metric.
+		if b.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = b.NsPerOp
+		}
+		if b.BytesPerOp < prev.BytesPerOp {
+			prev.BytesPerOp = b.BytesPerOp
+		}
+		if b.AllocsPerOp < prev.AllocsPerOp {
+			prev.AllocsPerOp = b.AllocsPerOp
+		}
+		if b.Iterations > prev.Iterations {
+			prev.Iterations = b.Iterations
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{}
+	for _, name := range order {
+		snap.Benchmarks = append(snap.Benchmarks, *byName[name])
+	}
+	return snap, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkEventThroughput-8   5000000   250 ns/op   48 B/op   1 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so snapshots from machines with
+// different core counts stay comparable, and the name is qualified with
+// the enclosing package path.
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	var b Benchmark
+	if !strings.HasPrefix(line, "Benchmark") {
+		return b, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return b, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return b, false
+	}
+	b.Name = name
+	if pkg != "" {
+		b.Name = pkg + "." + name
+	}
+	b.Iterations = iters
+	// The rest is value/unit pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Benchmark{}, false
+			}
+			b.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Benchmark{}, false
+			}
+			b.BytesPerOp = v
+		case "allocs/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Benchmark{}, false
+			}
+			b.AllocsPerOp = v
+		}
+	}
+	return b, sawNs
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nsThreshold := fs.Float64("ns-threshold", 0.10,
+		"fail when new ns/op exceeds old by more than this fraction")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: iobenchdiff diff [-ns-threshold F] old.json new.json")
+		return 2
+	}
+	old, err := readSnapshot(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "iobenchdiff:", err)
+		return 1
+	}
+	cur, err := readSnapshot(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "iobenchdiff:", err)
+		return 1
+	}
+	regressions := diff(old, cur, *nsThreshold, stdout)
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "iobenchdiff: %d regression(s) vs %s\n", regressions, fs.Arg(0))
+		return 1
+	}
+	return 0
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// diff prints a comparison table and returns the number of regressions:
+// benchmarks whose ns/op grew past the threshold or whose allocs/op grew
+// at all. Benchmarks present in only one snapshot never count.
+func diff(old, cur *Snapshot, nsThreshold float64, w io.Writer) int {
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		newBy[b.Name] = b
+	}
+	regressions := 0
+	for _, nb := range cur.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "NEW   %-60s %12.1f ns/op %8d B/op %6d allocs/op\n",
+				nb.Name, nb.NsPerOp, nb.BytesPerOp, nb.AllocsPerOp)
+			continue
+		}
+		status := "ok   "
+		var reasons []string
+		if ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp*(1+nsThreshold) {
+			reasons = append(reasons, fmt.Sprintf("ns/op +%.1f%% (limit +%.0f%%)",
+				100*(nb.NsPerOp/ob.NsPerOp-1), 100*nsThreshold))
+		}
+		if nb.AllocsPerOp > ob.AllocsPerOp {
+			reasons = append(reasons, fmt.Sprintf("allocs/op %d -> %d",
+				ob.AllocsPerOp, nb.AllocsPerOp))
+		}
+		if len(reasons) > 0 {
+			status = "FAIL "
+			regressions++
+		}
+		fmt.Fprintf(w, "%s %-60s ns/op %10.1f -> %-10.1f B/op %6d -> %-6d allocs/op %4d -> %-4d %s\n",
+			status, nb.Name, ob.NsPerOp, nb.NsPerOp, ob.BytesPerOp, nb.BytesPerOp,
+			ob.AllocsPerOp, nb.AllocsPerOp, strings.Join(reasons, "; "))
+	}
+	var gone []string
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "GONE  %s\n", name)
+	}
+	return regressions
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: iobehind/internal/des
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEventThroughput-8   	 5000000	       250.5 ns/op	      48 B/op	       3 allocs/op
+BenchmarkEventThroughput-8   	 5200000	       240.0 ns/op	      50 B/op	       3 allocs/op
+BenchmarkProcHandoff-8       	 1000000	      1100 ns/op	      16 B/op	       1 allocs/op
+PASS
+ok  	iobehind/internal/des	2.100s
+pkg: iobehind/internal/pfs
+BenchmarkFlowChurn-8         	  500000	      4476 ns/op	     547 B/op	      10 allocs/op
+PASS
+ok  	iobehind/internal/pfs	1.500s
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	et := snap.Benchmarks[0]
+	if et.Name != "iobehind/internal/des.BenchmarkEventThroughput" {
+		t.Fatalf("name = %q", et.Name)
+	}
+	// Two -count runs collapse to the per-metric minimum.
+	if et.NsPerOp != 240.0 || et.BytesPerOp != 48 || et.AllocsPerOp != 3 {
+		t.Fatalf("aggregated = %+v", et)
+	}
+	if et.Iterations != 5200000 {
+		t.Fatalf("iterations = %d", et.Iterations)
+	}
+	fc := snap.Benchmarks[2]
+	if fc.Name != "iobehind/internal/pfs.BenchmarkFlowChurn" {
+		t.Fatalf("name = %q", fc.Name)
+	}
+	if fc.NsPerOp != 4476 || fc.AllocsPerOp != 10 {
+		t.Fatalf("flow churn = %+v", fc)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	iobehind/internal/des	2.100s",
+		"Benchmark",                   // no fields
+		"BenchmarkX-8 notanumber 250", // bad iteration count
+		"BenchmarkX-8 100 garbage ns/op",
+	} {
+		if _, ok := parseBenchLine(line, ""); ok {
+			t.Errorf("parseBenchLine(%q) accepted garbage", line)
+		}
+	}
+	// A line without -benchmem columns still parses (ns/op only).
+	b, ok := parseBenchLine("BenchmarkX-16 	 100	 250 ns/op", "p")
+	if !ok || b.Name != "p.BenchmarkX" || b.NsPerOp != 250 || b.AllocsPerOp != 0 {
+		t.Fatalf("plain line: ok=%v b=%+v", ok, b)
+	}
+}
+
+func bench(name string, ns float64, bytes, allocs int64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1000, NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+}
+
+func TestDiffThresholds(t *testing.T) {
+	base := &Snapshot{Label: "base", Benchmarks: []Benchmark{
+		bench("a", 100, 64, 4),
+		bench("b", 100, 64, 4),
+		bench("c", 100, 64, 4),
+		bench("retired", 100, 64, 4),
+	}}
+	cur := &Snapshot{Label: "cur", Benchmarks: []Benchmark{
+		bench("a", 109, 64, 4),   // within 10% ns threshold: ok
+		bench("b", 250, 64, 4),   // ns regression
+		bench("c", 50, 128, 5),   // faster but one extra alloc: regression
+		bench("added", 10, 0, 0), // only in cur: never fails
+	}}
+	var out bytes.Buffer
+	if got := diff(base, cur, 0.10, &out); got != 2 {
+		t.Fatalf("regressions = %d, want 2\n%s", got, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"NEW ", "GONE  retired", "allocs/op 4 -> 5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("diff output missing %q:\n%s", want, text)
+		}
+	}
+	// Everything identical: no regressions.
+	out.Reset()
+	if got := diff(base, base, 0.10, &out); got != 0 {
+		t.Fatalf("self-diff regressions = %d\n%s", got, out.String())
+	}
+}
+
+func TestRunParseAndDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := dir + "/base.json"
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"parse", "-label", "base", "-o", basePath},
+		strings.NewReader(sampleOutput), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("parse exit %d: %s", code, stderr.String())
+	}
+	snap, err := readSnapshot(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Label != "base" || len(snap.Benchmarks) != 3 {
+		t.Fatalf("round-trip snapshot = %+v", snap)
+	}
+	// Self-diff is clean and exits 0.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"diff", basePath, basePath}, nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-diff exit %d: %s", code, stderr.String())
+	}
+	// An empty input is an error, not an empty snapshot.
+	if code := run([]string{"parse"}, strings.NewReader("PASS\n"), &stdout, &stderr); code != 1 {
+		t.Fatalf("empty parse exit %d", code)
+	}
+}

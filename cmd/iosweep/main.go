@@ -7,12 +7,16 @@
 //	iosweep                                      # all figures, quick scale
 //	iosweep -figs 1,5,8 -scale quick -j 8        # selected figures, 8 workers
 //	iosweep -figs all -scale paper -cache .iosweep-cache
+//	iosweep -figs 5 -cpuprofile cpu.out -memprofile mem.out
 //
 // With -cache, completed points are memoized on disk keyed by a hash of
 // their full configuration (strategy, tolerances, rank count, file-system
 // config, workload parameters): a re-run recomputes only points whose
 // configuration changed and serves the rest from the cache. The final
 // summary line reports how many points ran and how many were cached.
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles covering the
+// whole sweep; inspect them with `go tool pprof`.
 package main
 
 import (
@@ -26,10 +30,17 @@ import (
 	"time"
 
 	"iobehind/internal/experiments"
+	"iobehind/internal/profiling"
 	"iobehind/internal/runner"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code instead of os.Exit calls, so deferred
+// cleanup — in particular flushing pprof profiles — runs on every path.
+func run() int {
 	figs := flag.String("figs", "all", "figures to reproduce: comma list of 1,2,3,4,5,6,7,8,9,10,11,13,14,faults or 'all'")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
@@ -37,7 +48,20 @@ func main() {
 	outDir := flag.String("out", "", "also write each figure's output to <out>/fig<N>.txt")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault scenario's random window batch (figure 'faults')")
 	checkFaults := flag.Bool("check-faults", false, "fail unless the fault scenario's invariants hold (nonzero retries, recovered limit)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iosweep:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "iosweep:", err)
+		}
+	}()
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -47,7 +71,7 @@ func main() {
 		scale = experiments.Paper
 	default:
 		fmt.Fprintf(os.Stderr, "iosweep: unknown scale %q (want quick or paper)\n", *scaleFlag)
-		os.Exit(2)
+		return 2
 	}
 
 	// Resolve the figure list to distinct experiments, keeping request
@@ -78,7 +102,7 @@ func main() {
 			exp = e
 		} else {
 			fmt.Fprintf(os.Stderr, "iosweep: unknown figure %q\n", id)
-			os.Exit(2)
+			return 2
 		}
 		if seen[exp.Fig] {
 			continue
@@ -93,7 +117,7 @@ func main() {
 		cache, err := runner.OpenCache(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iosweep:", err)
-			os.Exit(1)
+			return 1
 		}
 		opts.Cache = cache
 	}
@@ -102,7 +126,7 @@ func main() {
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "iosweep:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -140,7 +164,7 @@ func main() {
 			path := filepath.Join(*outDir, "fig"+fe.id+".txt")
 			if err := os.WriteFile(path, []byte(header+body+"\n"), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "iosweep:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -155,9 +179,10 @@ func main() {
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "iosweep:", runErr)
-		os.Exit(1)
+		return 1
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

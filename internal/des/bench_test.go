@@ -6,6 +6,7 @@ import (
 
 // BenchmarkEventThroughput measures raw function-event dispatch.
 func BenchmarkEventThroughput(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine(1)
 	var fire func(i int)
 	fire = func(i int) {
@@ -23,6 +24,7 @@ func BenchmarkEventThroughput(b *testing.B) {
 // BenchmarkProcHandoff measures the park/wake goroutine handoff: the cost
 // of one process Sleep round trip.
 func BenchmarkProcHandoff(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine(1)
 	e.Spawn("p", func(p *Proc) {
 		for i := 0; i < b.N; i++ {
@@ -38,6 +40,7 @@ func BenchmarkProcHandoff(b *testing.B) {
 // BenchmarkManyProcsRoundRobin measures scheduling across a wide process
 // set (one wake per proc per virtual tick).
 func BenchmarkManyProcsRoundRobin(b *testing.B) {
+	b.ReportAllocs()
 	const procs = 1024
 	e := NewEngine(1)
 	rounds := b.N/procs + 1
@@ -49,6 +52,26 @@ func BenchmarkManyProcsRoundRobin(b *testing.B) {
 		})
 	}
 	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleCancel measures the schedule/cancel cycle that
+// channel.recompute performs on every reallocation: a far-future event is
+// scheduled and immediately cancelled, leaving a dead entry behind. The
+// engine must keep the pending queue from filling with corpses (the
+// dead-event compaction path) and keep the cycle allocation-free.
+func BenchmarkScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	fire := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cancel := e.Schedule(Time(Hour), PrioNormal, fire)
+		cancel.Cancel()
+	}
+	b.StopTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
 	}

@@ -61,7 +61,8 @@ func TestScheduleCancel(t *testing.T) {
 	e := NewEngine(1)
 	fired := false
 	cancel := e.After(Second, func() { fired = true })
-	cancel()
+	cancel.Cancel()
+	cancel.Cancel() // idempotent
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +472,7 @@ func TestEngineStats(t *testing.T) {
 		e.Spawn("p", func(p *Proc) { p.Sleep(Second) })
 	}
 	cancel := e.After(Second, func() {})
-	cancel() // dead events do not count as run
+	cancel.Cancel() // dead events do not count as run (or toward MaxHeap)
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,8 @@ type errKilled struct{}
 type Engine struct {
 	now     Time
 	heap    eventHeap
+	free    []*event // recycled event objects (the pool)
+	dead    int      // cancelled events still sitting in the heap
 	seq     uint64
 	handoff chan struct{}
 	procs   []*Proc
@@ -43,9 +45,17 @@ type Engine struct {
 	stopped bool
 
 	// Statistics.
-	eventsRun int64
-	maxHeap   int
+	eventsRun       int64
+	eventsPooled    int64
+	deadCompactions int64
+	maxHeap         int
 }
+
+// compactThreshold is the minimum number of dead events before the heap
+// is compacted. Below it, skipping corpses at pop time is cheaper than a
+// rebuild; above it, compaction runs only once dead entries outnumber
+// live ones, keeping the amortized cost per cancellation O(1).
+const compactThreshold = 64
 
 // NewEngine returns an engine with virtual time 0 and a PRNG seeded with
 // seed. All simulation randomness must come from Rand() so runs are
@@ -63,26 +73,109 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine-owned PRNG.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// Handle identifies one scheduled event activation. The zero Handle is
+// inert: Cancel on it does nothing. Handles are plain values, so handing
+// one out costs no allocation.
+type Handle struct {
+	ev  *event
+	gen uint32
+}
+
+// Cancel marks the event dead so the engine skips it; it is a no-op after
+// the event has fired. Event objects are pooled and recycled, but a
+// recycle bumps the object's generation, so a stale Handle retained past
+// its event's execution can never kill an unrelated later event.
+func (h Handle) Cancel() {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.dead {
+		return
+	}
+	ev.dead = true
+	// Drop the payload references now: a dead event may sit in the heap
+	// for a long virtual time, and it must not pin callbacks or processes
+	// for the GC meanwhile.
+	ev.fn = nil
+	ev.proc = nil
+	e := ev.owner
+	e.dead++
+	if e.dead >= compactThreshold && e.dead*2 > e.heap.len() {
+		e.compact()
+	}
+}
+
+// newEvent returns an event object from the free list, or a fresh one if
+// the pool is empty. The caller must set the payload fields.
+func (e *Engine) newEvent() *event {
+	if n := len(e.free) - 1; n >= 0 {
+		ev := e.free[n]
+		e.free[n] = nil
+		e.free = e.free[:n]
+		e.eventsPooled++
+		return ev
+	}
+	return &event{owner: e}
+}
+
+// recycle returns a popped (or compacted-away) event to the pool. The
+// generation bump invalidates every Handle issued for the finished
+// activation; clearing fn and proc releases the payload references so the
+// pool never pins simulation objects.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.proc = nil
+	ev.dead = false
+	e.free = append(e.free, ev)
+}
+
+// compact removes dead events from the heap in one linear pass, recycles
+// them, and restores the heap invariant. Cancel triggers it once corpses
+// dominate the queue, which keeps cancel-heavy workloads (such as a pfs
+// channel rescheduling its single completion event on every recompute)
+// from growing the heap without bound.
+func (e *Engine) compact() {
+	items := e.heap.items
+	kept := items[:0]
+	for _, ev := range items {
+		if ev.dead {
+			e.recycle(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	// Clear the tail so the backing array does not retain extra pointers
+	// to pooled events.
+	for i := len(kept); i < len(items); i++ {
+		items[i] = nil
+	}
+	e.heap.items = kept
+	e.heap.init()
+	e.dead = 0
+	e.deadCompactions++
+}
+
 // Schedule runs fn at the absolute virtual time at (which must not be in
-// the past) with the given priority. The returned cancel function marks the
-// event dead; it is a no-op after the event has fired.
-func (e *Engine) Schedule(at Time, prio int32, fn func()) (cancel func()) {
+// the past) with the given priority. The returned Handle cancels the
+// event; cancelling after the event has fired is a no-op.
+func (e *Engine) Schedule(at Time, prio int32, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("des: scheduling into the past: %v < now %v", at, e.now))
 	}
 	e.seq++
-	ev := &event{at: at, prio: prio, seq: e.seq, fn: fn}
+	ev := e.newEvent()
+	ev.at, ev.prio, ev.seq = at, prio, e.seq
+	ev.fn, ev.token = fn, 0
 	e.heap.push(ev)
-	return func() { ev.dead = true }
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After runs fn after duration d with normal priority.
-func (e *Engine) After(d Duration, fn func()) (cancel func()) {
+func (e *Engine) After(d Duration, fn func()) Handle {
 	return e.Schedule(e.now.Add(d), PrioNormal, fn)
 }
 
 // wakeAt schedules process p to resume at time at carrying token.
-func (e *Engine) wakeAt(p *Proc, at Time, prio int32, token uint64) *event {
+func (e *Engine) wakeAt(p *Proc, at Time, prio int32, token uint64) {
 	if at < e.now {
 		panic(fmt.Sprintf("des: waking into the past: %v < now %v", at, e.now))
 	}
@@ -90,9 +183,10 @@ func (e *Engine) wakeAt(p *Proc, at Time, prio int32, token uint64) *event {
 		panic("des: zero wake token is reserved")
 	}
 	e.seq++
-	ev := &event{at: at, prio: prio, seq: e.seq, proc: p, token: token}
+	ev := e.newEvent()
+	ev.at, ev.prio, ev.seq = at, prio, e.seq
+	ev.proc, ev.token = p, token
 	e.heap.push(ev)
-	return ev
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -109,19 +203,27 @@ func (e *Engine) Run() error {
 	e.stopped = false
 	defer func() { e.running = false }()
 	for e.heap.len() > 0 && !e.stopped {
-		if n := e.heap.len(); n > e.maxHeap {
-			e.maxHeap = n
+		if live := e.heap.len() - e.dead; live > e.maxHeap {
+			e.maxHeap = live
 		}
 		ev := e.heap.pop()
 		if ev.dead {
+			e.dead--
+			e.recycle(ev)
 			continue
 		}
-		e.eventsRun++
+		// Copy the payload and recycle before executing: the callback may
+		// schedule new events, and letting it reuse this object keeps the
+		// pool at its minimum size. Any Handle to this activation is
+		// invalidated by the recycle's generation bump first.
+		fn, proc, token := ev.fn, ev.proc, ev.token
 		e.now = ev.at
-		if ev.fn != nil {
-			ev.fn()
+		e.recycle(ev)
+		e.eventsRun++
+		if fn != nil {
+			fn()
 		} else {
-			e.dispatch(ev.proc, ev.token)
+			e.dispatch(proc, token)
 		}
 		if e.failure != nil {
 			return e.failure
@@ -170,7 +272,16 @@ func (e *Engine) Shutdown() {
 type Stats struct {
 	// EventsRun is the number of events executed (dead events excluded).
 	EventsRun int64
-	// MaxHeap is the peak size of the pending-event queue.
+	// EventsPooled is the number of event activations served from the
+	// free list instead of a fresh allocation. On a warmed-up engine it
+	// tracks EventsRun: the steady-state hot path allocates no events.
+	EventsPooled int64
+	// DeadCompactions is the number of times the pending queue was
+	// rebuilt to evict cancelled events that had come to dominate it.
+	DeadCompactions int64
+	// MaxHeap is the peak number of live (non-cancelled) pending events.
+	// Dead events awaiting compaction are excluded, so the figure
+	// reflects real queue pressure even in cancel-heavy workloads.
 	MaxHeap int
 	// Procs is the number of processes ever spawned.
 	Procs int
@@ -182,10 +293,12 @@ type Stats struct {
 // the simulation itself.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		EventsRun: e.eventsRun,
-		MaxHeap:   e.maxHeap,
-		Procs:     len(e.procs),
-		Now:       e.now,
+		EventsRun:       e.eventsRun,
+		EventsPooled:    e.eventsPooled,
+		DeadCompactions: e.deadCompactions,
+		MaxHeap:         e.maxHeap,
+		Procs:           len(e.procs),
+		Now:             e.now,
 	}
 }
 

@@ -2,14 +2,22 @@ package des
 
 // event is a scheduled occurrence: at time at, either run fn inline on the
 // engine loop, or wake proc.
+//
+// Event objects are owned by the engine and recycled through a free list:
+// every pop returns the object to the pool, so the steady-state hot path
+// allocates nothing. gen increments on each recycle; a Handle created for
+// one activation carries the generation it saw, which makes retained
+// cancel handles harmless after the object has been reused.
 type event struct {
 	at    Time
-	prio  int32 // lower fires first among equal times
+	prio  int32  // lower fires first among equal times
+	gen   uint32 // recycle generation, checked by Handle.Cancel
 	seq   uint64
 	fn    func()
 	proc  *Proc
-	token uint64 // wake token delivered to the proc (0 for fn events)
-	dead  bool   // cancelled events are skipped when popped
+	token uint64  // wake token delivered to the proc (0 for fn events)
+	owner *Engine // the engine whose pool the event belongs to
+	dead  bool    // cancelled events are skipped when popped
 }
 
 // eventHeap is a binary min-heap ordered by (at, prio, seq). It is
@@ -71,6 +79,14 @@ func (h *eventHeap) siftDown(i int) {
 		}
 		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
 		i = smallest
+	}
+}
+
+// init restores the heap invariant over arbitrarily ordered items
+// (bottom-up heapify, O(n)). Used after dead-event compaction.
+func (h *eventHeap) init() {
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
 	}
 }
 

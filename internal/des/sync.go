@@ -10,9 +10,12 @@ type Completion struct {
 	e       *Engine
 	done    bool
 	at      Time
-	waiters []*waiter
+	waiters []waiter
 }
 
+// waiter records one parked process and the wake token it expects. It is
+// stored by value inside the synchronization types so registering a
+// waiter costs no allocation once the slice is warm.
 type waiter struct {
 	p   *Proc
 	tok uint64
@@ -51,7 +54,7 @@ func (c *Completion) Wait(p *Proc) {
 		return
 	}
 	tok := p.nextToken()
-	c.waiters = append(c.waiters, &waiter{p: p, tok: tok})
+	c.waiters = append(c.waiters, waiter{p: p, tok: tok})
 	p.block(tok)
 }
 
@@ -59,7 +62,7 @@ func (c *Completion) Wait(p *Proc) {
 type Semaphore struct {
 	e       *Engine
 	tokens  int
-	waiters []*waiter
+	waiters []waiter
 }
 
 // NewSemaphore returns a semaphore holding n tokens.
@@ -74,7 +77,7 @@ func (s *Semaphore) Acquire(p *Proc) {
 		return
 	}
 	tok := p.nextToken()
-	s.waiters = append(s.waiters, &waiter{p: p, tok: tok})
+	s.waiters = append(s.waiters, waiter{p: p, tok: tok})
 	p.block(tok)
 }
 
@@ -106,9 +109,10 @@ func (s *Semaphore) Available() int { return s.tokens }
 // Mailbox is an unbounded FIFO queue with blocking receive, used for
 // client/server schemes such as the per-rank I/O agent.
 type Mailbox[T any] struct {
-	e     *Engine
-	items []T
-	recv  *waiter // at most one receiver may wait at a time
+	e       *Engine
+	items   []T
+	recv    waiter // at most one receiver may wait at a time
+	waiting bool   // recv holds a parked receiver
 }
 
 // NewMailbox returns an empty mailbox bound to e.
@@ -120,9 +124,9 @@ func NewMailbox[T any](e *Engine) *Mailbox[T] {
 // and may be called from function events as well as processes.
 func (m *Mailbox[T]) Put(v T) {
 	m.items = append(m.items, v)
-	if m.recv != nil {
+	if m.waiting {
 		w := m.recv
-		m.recv = nil
+		m.waiting = false
 		m.e.wakeAt(w.p, m.e.now, PrioNormal, w.tok)
 	}
 }
@@ -131,11 +135,12 @@ func (m *Mailbox[T]) Put(v T) {
 // empty. Only one process may block on a mailbox at a time.
 func (m *Mailbox[T]) Get(p *Proc) T {
 	for len(m.items) == 0 {
-		if m.recv != nil {
+		if m.waiting {
 			panic("des: concurrent Mailbox.Get")
 		}
 		tok := p.nextToken()
-		m.recv = &waiter{p: p, tok: tok}
+		m.recv = waiter{p: p, tok: tok}
+		m.waiting = true
 		p.block(tok)
 	}
 	v := m.items[0]
@@ -166,7 +171,7 @@ type Barrier struct {
 	e       *Engine
 	n       int
 	arrived int
-	waiters []*waiter
+	waiters []waiter
 	rounds  int
 }
 
@@ -197,7 +202,7 @@ func (b *Barrier) Await(p *Proc, delay Duration) {
 		return
 	}
 	tok := p.nextToken()
-	b.waiters = append(b.waiters, &waiter{p: p, tok: tok})
+	b.waiters = append(b.waiters, waiter{p: p, tok: tok})
 	p.block(tok)
 }
 

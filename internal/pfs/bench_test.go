@@ -9,6 +9,7 @@ import (
 // BenchmarkFlowChurn measures sequential flow start/complete cycles on an
 // otherwise idle channel.
 func BenchmarkFlowChurn(b *testing.B) {
+	b.ReportAllocs()
 	e := des.NewEngine(1)
 	p := New(e, Config{WriteCapacity: 1e9, ReadCapacity: 1e9})
 	e.Spawn("w", func(proc *des.Proc) {
@@ -25,6 +26,7 @@ func BenchmarkFlowChurn(b *testing.B) {
 // BenchmarkConcurrentFlows measures the allocator under a synchronized
 // burst of many equal flows (the uniform fast path).
 func BenchmarkConcurrentFlows(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := des.NewEngine(1)
 		p := New(e, Config{WriteCapacity: 100e9, ReadCapacity: 100e9})
@@ -41,9 +43,38 @@ func BenchmarkConcurrentFlows(b *testing.B) {
 	}
 }
 
+// BenchmarkCancelChurn measures repeated cap changes against a standing
+// flow population: every SetCap forces a recompute, which cancels the
+// pending completion event and schedules a replacement. This is the
+// cancel-heavy pattern that strands dead events in the engine queue and
+// re-runs the water-filling allocator without any flow completing.
+func BenchmarkCancelChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := des.NewEngine(1)
+	p := New(e, Config{WriteCapacity: 1e9, ReadCapacity: 1e9})
+	const flows = 64
+	fs := make([]*Flow, flows)
+	for i := range fs {
+		// Large enough that no flow completes during the benchmark; the
+		// mixed caps keep the allocator off its uniform fast path.
+		fs[i] = p.StartFlow(Write, 1<<40, float64(1+i%3), 1e7*float64(1+i%5), Tag{Rank: i})
+	}
+	e.Spawn("churn", func(proc *des.Proc) {
+		for i := 0; i < b.N; i++ {
+			fs[i%flows].SetCap(1e6 * float64(1+i%9))
+			proc.Sleep(des.Millisecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkGroupedAllocation measures the two-level injection-cap
 // allocator under the same burst.
 func BenchmarkGroupedAllocation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := des.NewEngine(1)
 		p := New(e, Config{WriteCapacity: 100e9, ReadCapacity: 100e9, InjectionCap: 25e9})

@@ -23,13 +23,31 @@ type channel struct {
 	noiseFactor  float64 // stationary noise scaling, (0,1]
 	faultFactor  float64 // fault-injection scaling, [0,1]
 	flows        []*Flow
-	last         des.Time // time progress was last integrated
-	cancel       func()   // pending completion event, if any
-	dirty        bool     // a recompute event is queued
+	last         des.Time   // time progress was last integrated
+	cancel       des.Handle // pending completion event, if any
+	dirty        bool       // a recompute event is queued
 	observer     func(now des.Time, flows []*Flow)
 	noise        *NoiseConfig
 	noiseOn      bool
 	injectionCap float64 // per-node NIC cap, 0 = disabled
+
+	// dirtyFn and recomputeFn are the two event callbacks the channel
+	// schedules on every recompute cycle, bound once at construction so
+	// the hot path never materializes a new closure.
+	dirtyFn     func()
+	recomputeFn func()
+
+	// Scratch buffers reused across recomputes so the steady-state
+	// water-filling path allocates nothing: order backs the sorted view
+	// inside allocate, sorter is its sort.Stable adapter, and the
+	// group* / members / supers set backs allocateGrouped's two-level
+	// decomposition. They are plain scratch — valid only within one
+	// allocation pass, never across events.
+	order    []*Flow
+	sorter   flowSorter
+	groupIdx map[nodeKey]int
+	members  [][]*Flow
+	supers   []*Flow
 
 	// recent tracks operation submissions inside the storm window for the
 	// burst-storm latency model; head indexes the oldest live entry.
@@ -69,11 +87,17 @@ func (c *channel) pruneRecent() {
 }
 
 func newChannel(e *des.Engine, name string, capacity float64) *channel {
-	return &channel{
+	c := &channel{
 		e: e, name: name,
 		base: capacity, capacity: capacity,
 		noiseFactor: 1, faultFactor: 1,
 	}
+	c.dirtyFn = func() {
+		c.dirty = false
+		c.recompute()
+	}
+	c.recomputeFn = c.recompute
+	return c
 }
 
 // Flow is one in-flight transfer on a channel.
@@ -213,10 +237,7 @@ func (c *channel) markDirty() {
 		return
 	}
 	c.dirty = true
-	c.e.Schedule(c.e.Now(), des.PrioLate+1, func() {
-		c.dirty = false
-		c.recompute()
-	})
+	c.e.Schedule(c.e.Now(), des.PrioLate+1, c.dirtyFn)
 }
 
 // recompute integrates progress, completes finished flows, water-fills the
@@ -242,21 +263,16 @@ func (c *channel) recompute() {
 		i++
 	}
 
-	c.waterfill()
+	next := c.waterfill()
 
-	// Schedule the earliest projected completion.
-	if c.cancel != nil {
-		c.cancel()
-		c.cancel = nil
-	}
-	next := des.Time(math.MaxInt64)
-	for _, f := range c.flows {
-		if f.finishAt != 0 && f.finishAt < next {
-			next = f.finishAt
-		}
-	}
-	if next != des.Time(math.MaxInt64) {
-		c.cancel = c.e.Schedule(next, des.PrioEarly, c.recompute)
+	// Replace the pending completion event with one at the new earliest
+	// completion. The stale event is cancelled; the engine's dead-event
+	// compaction keeps this reschedule-per-recompute pattern from
+	// accumulating corpses in the queue.
+	c.cancel.Cancel()
+	c.cancel = des.Handle{}
+	if next != 0 {
+		c.cancel = c.e.Schedule(next, des.PrioEarly, c.recomputeFn)
 	}
 	if c.observer != nil {
 		c.observer(now, c.flows)
@@ -264,27 +280,91 @@ func (c *channel) recompute() {
 }
 
 // waterfill assigns weighted max–min fair rates honouring per-flow caps
-// (and, when configured, per-node injection caps), then recomputes each
-// flow's projected finish time.
-func (c *channel) waterfill() {
+// (and, when configured, per-node injection caps), recomputes each flow's
+// projected finish time, and returns the earliest one (zero when no flow
+// will finish on its own) so the caller needs no second pass.
+func (c *channel) waterfill() des.Time {
 	n := len(c.flows)
 	if n == 0 {
-		return
+		return 0
 	}
 	if c.injectionCap > 0 {
 		c.allocateGrouped()
 	} else {
-		allocate(c.capacity, c.flows)
+		c.allocate(c.capacity, c.flows)
 	}
 	now := c.e.Now()
+	var next des.Time
 	for _, f := range c.flows {
 		f.finishAt = projectFinish(now, f.remaining, f.rate)
+		if f.finishAt != 0 && (next == 0 || f.finishAt < next) {
+			next = f.finishAt
+		}
 	}
+	return next
+}
+
+// flowOrderLess is the water-filling visit order: ascending cap/weight,
+// with ties broken by the flow's tag. The tag tie-break makes the order
+// total over distinct flows, so tied rate classes resolve identically no
+// matter how the input happens to be arranged — determinism by
+// construction rather than by accident of sort.Slice's pivot choices.
+func flowOrderLess(a, b *Flow) bool {
+	ra, rb := a.cap/a.weight, b.cap/b.weight
+	if ra < rb {
+		return true
+	}
+	if ra > rb {
+		return false
+	}
+	if a.tag.Job != b.tag.Job {
+		return a.tag.Job < b.tag.Job
+	}
+	if a.tag.Node != b.tag.Node {
+		return a.tag.Node < b.tag.Node
+	}
+	return a.tag.Rank < b.tag.Rank
+}
+
+// flowSorter adapts a flow slice to sort.Stable without a per-call
+// closure; channels keep one and reuse it.
+type flowSorter struct{ flows []*Flow }
+
+func (s *flowSorter) Len() int           { return len(s.flows) }
+func (s *flowSorter) Less(i, j int) bool { return flowOrderLess(s.flows[i], s.flows[j]) }
+func (s *flowSorter) Swap(i, j int)      { s.flows[i], s.flows[j] = s.flows[j], s.flows[i] }
+
+// insertionSortMax is the size up to which sortFlows uses insertion sort.
+// Rate classes per channel are few in every workload the simulator
+// models, so this covers the common case without sort.Stable's overhead.
+const insertionSortMax = 32
+
+// sortFlows stably sorts order by flowOrderLess. Stability matters only
+// for flows with identical tags (indistinguishable anyway); it costs
+// nothing with insertion sort and keeps the fallback consistent.
+func (c *channel) sortFlows(order []*Flow) {
+	if len(order) <= insertionSortMax {
+		for i := 1; i < len(order); i++ {
+			f := order[i]
+			j := i - 1
+			for j >= 0 && flowOrderLess(f, order[j]) {
+				order[j+1] = order[j]
+				j--
+			}
+			order[j+1] = f
+		}
+		return
+	}
+	c.sorter.flows = order
+	sort.Stable(&c.sorter)
+	c.sorter.flows = nil
 }
 
 // allocate assigns weighted max–min fair rates to flows under capacity,
-// honouring per-flow caps. It only sets f.rate.
-func allocate(capacity float64, flows []*Flow) {
+// honouring per-flow caps. It only sets f.rate. The sorted view lives in
+// the channel's scratch buffer; calls must not nest (allocateGrouped's
+// sequential super- and member-level calls are fine).
+func (c *channel) allocate(capacity float64, flows []*Flow) {
 	n := len(flows)
 	if n == 0 {
 		return
@@ -326,11 +406,11 @@ func allocate(capacity float64, flows []*Flow) {
 
 	// Water-filling: visit flows by ascending cap/weight. A flow whose cap
 	// is below its proportional share keeps the cap and donates the rest.
-	order := make([]*Flow, n)
-	copy(order, flows)
-	sort.Slice(order, func(i, j int) bool {
-		return order[i].cap/order[i].weight < order[j].cap/order[j].weight
-	})
+	// Sorting a scratch copy (rather than the caller's slice) preserves
+	// the flow set's insertion order for observers.
+	order := append(c.order[:0], flows...)
+	c.order = order
+	c.sortFlows(order)
 	remaining := capacity
 	weight := 0.0
 	for _, f := range order {
@@ -346,6 +426,11 @@ func allocate(capacity float64, flows []*Flow) {
 		remaining -= rate
 		weight -= f.weight
 	}
+	// Drop the flow references so an idle channel's scratch does not pin
+	// completed flows for the GC.
+	for i := range order {
+		order[i] = nil
+	}
 }
 
 // nodeKey groups flows sharing one node's NIC.
@@ -356,18 +441,43 @@ type nodeKey struct {
 // allocateGrouped performs the two-level hierarchical allocation: the
 // channel capacity is divided across node groups by weighted max–min with
 // each group capped at the injection bandwidth, then each group's rate is
-// divided across its member flows.
+// divided across its member flows. Groups are assembled in first-
+// appearance order over c.flows — not by ranging over a map — so the
+// super-flow ordering (and with it every downstream float accumulation)
+// is identical on every run. All grouping state lives in per-channel
+// scratch reused across recomputes.
 func (c *channel) allocateGrouped() {
-	groups := make(map[nodeKey][]*Flow)
+	if c.groupIdx == nil {
+		c.groupIdx = make(map[nodeKey]int)
+	} else {
+		clear(c.groupIdx)
+	}
+	c.members = c.members[:0]
 	for _, f := range c.flows {
 		k := nodeKey{job: f.tag.Job, node: f.tag.Node}
-		groups[k] = append(groups[k], f)
+		gi, ok := c.groupIdx[k]
+		if !ok {
+			gi = len(c.members)
+			c.groupIdx[k] = gi
+			if gi < cap(c.members) {
+				// Reuse the retired member slice's backing array.
+				c.members = c.members[:gi+1]
+				c.members[gi] = c.members[gi][:0]
+			} else {
+				c.members = append(c.members, nil)
+			}
+		}
+		c.members[gi] = append(c.members[gi], f)
 	}
-	// Build one super-flow per group. Its cap is the injection bandwidth,
-	// tightened further when every member is individually capped below it.
-	supers := make([]*Flow, 0, len(groups))
-	members := make([][]*Flow, 0, len(groups))
-	for _, flows := range groups {
+	// Build one pooled super-flow per group. Its cap is the injection
+	// bandwidth, tightened further when every member is individually
+	// capped below it; its tag is the group identity, which gives the
+	// water-filling tie-break a total order over supers too.
+	for len(c.supers) < len(c.members) {
+		c.supers = append(c.supers, &Flow{})
+	}
+	supers := c.supers[:len(c.members)]
+	for i, flows := range c.members {
 		weight, caps := 0.0, 0.0
 		uncapped := false
 		for _, f := range flows {
@@ -382,14 +492,33 @@ func (c *channel) allocateGrouped() {
 		if !uncapped && caps < gcap {
 			gcap = caps
 		}
-		supers = append(supers, &Flow{weight: weight, cap: gcap})
-		members = append(members, flows)
+		*supers[i] = Flow{
+			weight: weight,
+			cap:    gcap,
+			tag:    Tag{Job: flows[0].tag.Job, Node: flows[0].tag.Node},
+		}
 	}
-	allocate(c.capacity, supers)
-	for i, flows := range members {
-		allocate(supers[i].rate, flows)
+	c.allocate(c.capacity, supers)
+	for i, flows := range c.members {
+		c.allocate(supers[i].rate, flows)
+	}
+	// As with allocate's order scratch: release member references so the
+	// scratch never outlives the flows it grouped.
+	for i, m := range c.members {
+		for j := range m {
+			m[j] = nil
+		}
+		c.members[i] = m[:0]
 	}
 }
+
+// maxProjectSeconds caps a projected transfer duration at about 73 virtual
+// years. Beyond it the nanosecond clock would overflow to a negative
+// instant (a terabyte-scale flow on an outage-floored 1 B/s channel gets
+// there easily). A clamped completion event just fires at the horizon,
+// integrates the progress actually made, and re-projects — the flow still
+// finishes at the right virtual time.
+const maxProjectSeconds = float64(1<<61) / 1e9
 
 // projectFinish returns the absolute completion time of a flow, rounding up
 // a nanosecond so the completion event never fires before the fluid model
@@ -398,6 +527,10 @@ func projectFinish(now des.Time, remaining, rate float64) des.Time {
 	if rate <= 0 {
 		return 0
 	}
-	d := des.DurationOf(remaining/rate) + 1
+	seconds := remaining / rate
+	if seconds > maxProjectSeconds {
+		seconds = maxProjectSeconds
+	}
+	d := des.DurationOf(seconds) + 1
 	return now.Add(d)
 }

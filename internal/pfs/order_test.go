@@ -1,0 +1,147 @@
+package pfs
+
+import (
+	"math"
+	"testing"
+
+	"iobehind/internal/des"
+)
+
+// permute4 is every order of four indices — small enough to enumerate.
+var permute4 = [][]int{
+	{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}, {0, 2, 1, 3}, {3, 0, 2, 1},
+}
+
+// TestAllocateTiedCapsDeterministic pins the water-filling tie-break:
+// flows with identical cap/weight ratios used to be ordered by
+// sort.Slice, whose placement of ties depends on incidental input order,
+// so tied flows' float rate accumulations (and thus their projected
+// completions) could differ between otherwise identical runs. With the
+// stable (cap/weight, tag) total order, every input permutation must
+// produce bit-identical rates per flow.
+func TestAllocateTiedCapsDeterministic(t *testing.T) {
+	// Deliberately non-representable ratio so any ordering difference
+	// shows up in the low bits of the accumulated remaining capacity.
+	const r = 7.3
+	build := func() []*Flow {
+		return []*Flow{
+			{tag: Tag{Rank: 0}, weight: 1, cap: r * 1, remaining: 1e6},
+			{tag: Tag{Rank: 1}, weight: 3, cap: r * 3, remaining: 1e6},
+			{tag: Tag{Rank: 2}, weight: 7, cap: r * 7, remaining: 1e6},
+			{tag: Tag{Rank: 3}, weight: 2, cap: Unlimited, remaining: 1e6},
+		}
+	}
+	var want [4]float64
+	for pi, perm := range permute4 {
+		c := newChannel(des.NewEngine(1), "test", 100)
+		flows := build()
+		for _, i := range perm {
+			c.flows = append(c.flows, flows[i])
+		}
+		c.allocate(c.capacity, c.flows)
+		for _, f := range flows {
+			got := f.rate
+			if pi == 0 {
+				want[f.tag.Rank] = got
+				continue
+			}
+			if got != want[f.tag.Rank] {
+				t.Fatalf("perm %v: rank %d rate = %v, want %v (tie-break is input-order dependent)",
+					perm, f.tag.Rank, got, want[f.tag.Rank])
+			}
+		}
+	}
+}
+
+// TestGroupedAllocationDeterministic does the same for the two-level
+// injection-cap path, whose groups were previously assembled by ranging
+// over a map: node-group ordering (and the float accumulation that
+// follows it) must not depend on flow arrival order.
+func TestGroupedAllocationDeterministic(t *testing.T) {
+	build := func() []*Flow {
+		return []*Flow{
+			{tag: Tag{Job: 1, Node: 0, Rank: 0}, weight: 1.3, cap: Unlimited, remaining: 1e6},
+			{tag: Tag{Job: 1, Node: 0, Rank: 1}, weight: 2.1, cap: 11.7, remaining: 1e6},
+			{tag: Tag{Job: 1, Node: 1, Rank: 2}, weight: 1.9, cap: Unlimited, remaining: 1e6},
+			{tag: Tag{Job: 2, Node: 0, Rank: 3}, weight: 0.7, cap: 5.3, remaining: 1e6},
+		}
+	}
+	var want [4]float64
+	for pi, perm := range permute4 {
+		c := newChannel(des.NewEngine(1), "test", 40)
+		c.injectionCap = 17
+		flows := build()
+		for _, i := range perm {
+			c.flows = append(c.flows, flows[i])
+		}
+		c.allocateGrouped()
+		for _, f := range flows {
+			if pi == 0 {
+				want[f.tag.Rank] = f.rate
+				continue
+			}
+			if f.rate != want[f.tag.Rank] {
+				t.Fatalf("perm %v: rank %d rate = %v, want %v", perm, f.tag.Rank, f.rate, want[f.tag.Rank])
+			}
+		}
+	}
+}
+
+// TestSortFlowsTotalOrder checks both sort implementations (insertion
+// sort for small sets, sort.Stable above insertionSortMax) produce the
+// tag-ordered arrangement for tied ratios, at sizes straddling the
+// cutover.
+func TestSortFlowsTotalOrder(t *testing.T) {
+	c := newChannel(des.NewEngine(1), "test", 100)
+	for _, n := range []int{2, insertionSortMax, insertionSortMax + 1, 4 * insertionSortMax} {
+		flows := make([]*Flow, n)
+		for i := range flows {
+			// Two tied rate classes interleaved over descending ranks.
+			flows[i] = &Flow{tag: Tag{Rank: n - 1 - i}, weight: 1, cap: float64(2 + i%2)}
+		}
+		c.sortFlows(flows)
+		for i := 1; i < n; i++ {
+			a, b := flows[i-1], flows[i]
+			if a.cap > b.cap || (a.cap == b.cap && a.tag.Rank >= b.tag.Rank) {
+				t.Fatalf("n=%d: flows[%d..%d] out of order: (cap %v, rank %d) before (cap %v, rank %d)",
+					n, i-1, i, a.cap, a.tag.Rank, b.cap, b.tag.Rank)
+			}
+		}
+	}
+}
+
+// TestWaterfillRatesUnchangedByScratchReuse replays the same flow set
+// through many recomputes and checks the scratch-reusing allocator keeps
+// producing the original rates (no state leaks between passes).
+func TestWaterfillRatesUnchangedByScratchReuse(t *testing.T) {
+	c := newChannel(des.NewEngine(1), "test", 100)
+	for i := 0; i < 6; i++ {
+		capv := Unlimited
+		if i%2 == 0 {
+			capv = float64(10 * (i + 1))
+		}
+		c.flows = append(c.flows, &Flow{
+			tag: Tag{Rank: i}, weight: float64(1 + i%3), cap: capv, remaining: 1e9,
+		})
+	}
+	c.waterfill()
+	var first []float64
+	for _, f := range c.flows {
+		first = append(first, f.rate)
+	}
+	total := 0.0
+	for _, r := range first {
+		total += r
+	}
+	if math.Abs(total-100) > 1e-6 {
+		t.Fatalf("rates not work-conserving: total %v", total)
+	}
+	for round := 0; round < 50; round++ {
+		c.waterfill()
+		for i, f := range c.flows {
+			if f.rate != first[i] {
+				t.Fatalf("round %d: flow %d rate drifted %v -> %v", round, i, first[i], f.rate)
+			}
+		}
+	}
+}

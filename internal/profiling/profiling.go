@@ -1,0 +1,60 @@
+// Package profiling wires the runtime/pprof profilers into the
+// command-line tools. Commands accept -cpuprofile/-memprofile flags and
+// call Start once after flag parsing; the returned stop function must
+// run on every exit path (the commands route all exits through a
+// run() int function for exactly this reason — a deferred stop never
+// runs past os.Exit).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns
+// a stop function that finalizes the CPU profile and writes an
+// allocation-focused heap profile to memPath (when non-empty). Either
+// path may be empty; with both empty, Start is a no-op and stop is
+// still safe to call.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			// Fold in everything still unswept so the written profile
+			// reflects live allocations, not GC timing.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
