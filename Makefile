@@ -12,7 +12,7 @@ BENCH_TIME     ?= 200ms
 BENCH_COUNT    ?= 5
 NS_THRESHOLD   ?= 0.10
 
-.PHONY: all build vet lint test race bench bench-json bench-check sweep gateway-smoke faults-smoke ci clean
+.PHONY: all build vet lint test race bench bench-json bench-check docs-check sweep gateway-smoke faults-smoke ci clean
 
 all: ci
 
@@ -41,9 +41,16 @@ test:
 # telemetry gateway's concurrent ingest/query/shutdown paths, and the
 # TCPSink's reconnect/drop paths (internal/tmio stream tests). The
 # simulation kernel (des, pfs) rides along so the AllocsPerRun guards
-# and the event-pool recycling hold under the race detector too.
+# and the event-pool recycling hold under the race detector too, and
+# internal/trace exercises the emit → replay round trip (including the
+# 4-rank replay) under the detector.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/gateway/... ./internal/tmio/... ./internal/faults/... ./internal/des/... ./internal/pfs/...
+	$(GO) test -race ./internal/runner/... ./internal/gateway/... ./internal/tmio/... ./internal/faults/... ./internal/des/... ./internal/pfs/... ./internal/trace/...
+
+# Fail when a figure experiment in internal/experiments has no row in
+# EXPERIMENTS.md's figure↔code table (see cmd/iodocscheck).
+docs-check:
+	$(GO) run ./cmd/iodocscheck
 
 # End-to-end gateway check on ephemeral ports: gateway up, one traced
 # simulation streamed in over TCP, HTTP surface probed for series and a
@@ -82,7 +89,7 @@ bench-check:
 sweep:
 	$(GO) run ./cmd/iosweep -figs all -scale quick -j 0 -cache .iosweep-cache
 
-ci: vet build lint test race bench-check
+ci: vet build lint test race docs-check bench-check
 
 clean:
 	rm -rf .iosweep-cache

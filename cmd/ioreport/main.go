@@ -5,14 +5,24 @@
 //	haccio -ranks 96 -json run.json
 //	ioreport run.json
 //	ioreport -replay -j 4 run.json   # what-if replay, strategies in parallel
+//
+// With -trace, the argument is instead an I/O trace file in the format of
+// docs/TRACE_FORMAT.md (written by `iosweep -emit-trace` or converted from
+// a real application trace); ioreport prints its per-rank and per-op
+// summary. Replay such a file with `iosweep -trace`.
+//
+//	iosweep -emit-trace hacc.trace -workload hacc
+//	ioreport -trace hacc.trace
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"iobehind/internal/des"
@@ -20,6 +30,7 @@ import (
 	"iobehind/internal/report"
 	"iobehind/internal/runner"
 	"iobehind/internal/tmio"
+	"iobehind/internal/trace"
 )
 
 // reportJSON mirrors the WriteJSON payload.
@@ -74,15 +85,24 @@ func main() {
 	replay := flag.Bool("replay", false,
 		"replay all limiting strategies over the recorded phases (what-if analysis)")
 	workers := flag.Int("j", 1, "worker pool size for -replay (0 = GOMAXPROCS)")
+	traceFile := flag.Bool("trace", false,
+		"the argument is an I/O trace file (docs/TRACE_FORMAT.md); print its summary")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ioreport [-replay] <report.json>")
+		fmt.Fprintln(os.Stderr, "usage: ioreport [-replay] <report.json>\n       ioreport -trace <file.trace>")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ioreport:", err)
 		os.Exit(1)
+	}
+	if *traceFile {
+		if err := summarizeTrace(data); err != nil {
+			fmt.Fprintln(os.Stderr, "ioreport:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var rep reportJSON
 	if err := json.Unmarshal(data, &rep); err != nil {
@@ -131,6 +151,72 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// summarizeTrace parses raw as a JSON-lines I/O trace and prints its
+// per-rank and per-op summary — the "inspect" step between emitting a
+// trace and replaying it.
+func summarizeTrace(raw []byte) error {
+	tr, err := trace.Parse(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	head := report.NewTable(fmt.Sprintf("I/O trace — app %q (format v%d)", tr.App, tr.Version),
+		"metric", "value")
+	head.AddRow("ranks", fmt.Sprintf("%d (%d per node)", tr.Ranks, tr.RanksPerNode))
+	head.AddRow("operations", fmt.Sprintf("%d", tr.Ops()))
+	head.AddRow("clock", tr.Clock)
+	if tr.Skipped > 0 {
+		head.AddRow("skipped unknown ops", fmt.Sprintf("%d", tr.Skipped))
+	}
+	fmt.Print(head.Render())
+
+	perRank := report.NewTable("per rank", "rank", "ops", "files", "written", "read", "async", "span")
+	opCounts := map[string]int{}
+	for rank, recs := range tr.PerRank {
+		var written, read int64
+		var async, files int
+		var first, last int64
+		for i, rec := range recs {
+			if i == 0 {
+				first = rec.T
+			}
+			if rec.T > last {
+				last = rec.T
+			}
+			opCounts[rec.Op]++
+			switch rec.Op {
+			case trace.OpOpen:
+				files++
+			case trace.OpWriteAt, trace.OpWriteAtAll:
+				written += rec.N
+			case trace.OpReadAt, trace.OpReadAtAll:
+				read += rec.N
+			case trace.OpIwriteAt:
+				written += rec.N
+				async++
+			case trace.OpIreadAt:
+				read += rec.N
+				async++
+			}
+		}
+		perRank.AddRow(fmt.Sprintf("%d", rank), fmt.Sprintf("%d", len(recs)),
+			fmt.Sprintf("%d", files), report.Bytes(written), report.Bytes(read),
+			fmt.Sprintf("%d", async), report.Seconds(des.Duration(last-first)))
+	}
+	fmt.Print(perRank.Render())
+
+	kinds := make([]string, 0, len(opCounts))
+	for op := range opCounts {
+		kinds = append(kinds, op)
+	}
+	sort.Strings(kinds)
+	ops := report.NewTable("operations by kind", "op", "count")
+	for _, op := range kinds {
+		ops.AddRow(op, fmt.Sprintf("%d", opCounts[op]))
+	}
+	fmt.Print(ops.Render())
+	return nil
 }
 
 // replayStrategies runs the what-if analysis: what would each strategy

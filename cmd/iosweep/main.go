@@ -8,12 +8,21 @@
 //	iosweep -figs 1,5,8 -scale quick -j 8        # selected figures, 8 workers
 //	iosweep -figs all -scale paper -cache .iosweep-cache
 //	iosweep -figs 5 -cpuprofile cpu.out -memprofile mem.out
+//	iosweep -emit-trace hacc.trace -workload hacc # record a workload's I/O trace
+//	iosweep -trace hacc.trace                     # replay a trace file
 //
 // With -cache, completed points are memoized on disk keyed by a hash of
 // their full configuration (strategy, tolerances, rank count, file-system
 // config, workload parameters): a re-run recomputes only points whose
 // configuration changed and serves the rest from the cache. The final
 // summary line reports how many points ran and how many were cached.
+//
+// -emit-trace records the per-rank MPI-IO operation stream of a built-in
+// workload in the versioned JSON-lines format of docs/TRACE_FORMAT.md.
+// -trace replays such a file (from this tool or converted from a real
+// application trace) as a scenario against the simulated cluster; the
+// replay point's cache key includes the SHA-256 of the trace content, so
+// editing the file invalidates exactly that point.
 //
 // -cpuprofile and -memprofile write runtime/pprof profiles covering the
 // whole sweep; inspect them with `go tool pprof`.
@@ -41,13 +50,16 @@ func main() {
 // run is main with an exit code instead of os.Exit calls, so deferred
 // cleanup — in particular flushing pprof profiles — runs on every path.
 func run() int {
-	figs := flag.String("figs", "all", "figures to reproduce: comma list of 1,2,3,4,5,6,7,8,9,10,11,13,14,faults or 'all'")
+	figs := flag.String("figs", "all", "figures to reproduce: comma list of 1,2,3,4,5,6,7,8,9,10,11,13,14,faults,trace or 'all'")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
 	cacheDir := flag.String("cache", "", "cache directory for completed points (empty disables caching)")
 	outDir := flag.String("out", "", "also write each figure's output to <out>/fig<N>.txt")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault scenario's random window batch (figure 'faults')")
 	checkFaults := flag.Bool("check-faults", false, "fail unless the fault scenario's invariants hold (nonzero retries, recovered limit)")
+	traceFile := flag.String("trace", "", "replay this I/O trace file (docs/TRACE_FORMAT.md) instead of sweeping figures")
+	emitTrace := flag.String("emit-trace", "", "emit a trace of -workload to this file and exit")
+	workload := flag.String("workload", "phased", "built-in workload for -emit-trace: phased, hacc, wacomm, or ior")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	flag.Parse()
@@ -74,6 +86,23 @@ func run() int {
 		return 2
 	}
 
+	// -emit-trace short-circuits the sweep: record the chosen built-in
+	// workload's I/O as a trace file and exit.
+	if *emitTrace != "" {
+		raw, err := experiments.EmitBuiltinTrace(*workload, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iosweep:", err)
+			return 2
+		}
+		if err := os.WriteFile(*emitTrace, raw, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "iosweep:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "iosweep: wrote %d-byte %s trace (%s scale) to %s\n",
+			len(raw), *workload, scale, *emitTrace)
+		return 0
+	}
+
 	// Resolve the figure list to distinct experiments, keeping request
 	// order. Figures sharing an experiment (1+2, 5+6) are swept once.
 	var ids []string
@@ -92,6 +121,25 @@ func run() int {
 	var sweep []figExp
 	seen := map[string]bool{}
 	var points []runner.Point
+	if *traceFile != "" {
+		// A trace replay replaces the figure sweep: the trace file is the
+		// experiment, and its content hash keys the runner cache, so
+		// re-running the same file hits and any edit misses.
+		raw, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iosweep:", err)
+			return 1
+		}
+		name := strings.TrimSuffix(filepath.Base(*traceFile), filepath.Ext(*traceFile))
+		exp, err := experiments.TraceReplayExperiment(name, raw, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosweep: %s: %v\n", *traceFile, err)
+			return 2
+		}
+		sweep = append(sweep, figExp{id: exp.Fig, exp: exp})
+		points = append(points, exp.Points...)
+		ids = nil
+	}
 	for _, id := range ids {
 		var exp *experiments.Experiment
 		if id == "faults" {

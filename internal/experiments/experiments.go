@@ -151,7 +151,7 @@ func RunExperiment(ctx context.Context, r *runner.Runner, exp *Experiment) (Rend
 
 // FigOrder lists each distinct experiment once, in figure order — the
 // iteration order of "run everything".
-var FigOrder = []string{"1", "3", "4", "5", "7", "8", "9", "10", "11", "13", "14", "faults"}
+var FigOrder = []string{"1", "3", "4", "5", "7", "8", "9", "10", "11", "13", "14", "faults", "trace"}
 
 // experimentsByFig maps every figure id to its experiment constructor.
 var experimentsByFig = map[string]func(Scale) *Experiment{
@@ -162,6 +162,7 @@ var experimentsByFig = map[string]func(Scale) *Experiment{
 	"9": Fig09Experiment, "10": Fig10Experiment,
 	"11": Fig11Experiment, "13": Fig13Experiment,
 	"14": Fig14Experiment, "faults": FigFaultsExperiment,
+	"trace": FigTraceExperiment,
 }
 
 // ByFig returns the experiment behind a figure id ("1".."14"; "2" and
@@ -192,8 +193,12 @@ type pointConfig struct {
 	Hacc     *workloads.HaccConfig   `json:",omitempty"`
 	Wacomm   *workloads.WacommConfig `json:",omitempty"`
 	Phased   *workloads.PhasedConfig `json:",omitempty"`
+	Ior      *workloads.IorConfig    `json:",omitempty"`
 	Cluster  *cluster.Config         `json:",omitempty"`
 	Phases   []region.Phase          `json:",omitempty"` // Fig. 4's exact inputs
+	// TraceSHA is the SHA-256 of a replayed trace file's raw bytes: the
+	// trace *content* is the point's input, so any byte change must miss.
+	TraceSHA string `json:",omitempty"`
 }
 
 // config derives the hashable point identity from a spec.

@@ -87,6 +87,7 @@ func Analyzers() []*Analyzer {
 var simPackages = []string{
 	"des", "sched", "cluster", "adio", "pfs", "mpi", "mpiio",
 	"region", "metrics", "ftio", "workloads", "experiments", "faults",
+	"trace",
 }
 
 // isSimPackage reports whether path is one of the simulation packages

@@ -24,12 +24,21 @@ func (f *File) ReadAtAll(offset, bytesPerRank int64) {
 	f.collective(pfs.Read, offset, bytesPerRank)
 }
 
+// collective runs the two-phase protocol. The offset is reported to the
+// interceptor (trace emitters need it to reconstruct the access pattern)
+// but deliberately does not reach the aggregator's Submit: the fluid
+// file-system model of internal/pfs prices classes and byte counts, not
+// placement, so the combined aggregator access costs the same wherever the
+// collective lands in the file. Threading the offset into adio would imply
+// a positional model the backend does not have. If the pfs model ever
+// becomes offset-aware (e.g. striping), the aggregator submit below is the
+// single place to route op.Offset through.
 func (f *File) collective(class pfs.Class, offset, bytesPerRank int64) {
-	_ = offset
 	r := f.r
 	w := r.World()
+	op := Op{File: f, Class: class, Offset: offset, Bytes: bytesPerRank, Collective: true}
 	if i := f.sys.interceptor; i != nil {
-		i.SyncBegin(r, f, class, bytesPerRank)
+		i.SyncBegin(r, op)
 	}
 	start := r.Now()
 
@@ -56,6 +65,6 @@ func (f *File) collective(class pfs.Class, offset, bytesPerRank int64) {
 	r.Barrier()
 
 	if i := f.sys.interceptor; i != nil {
-		i.SyncEnd(r, f, class, bytesPerRank, start, r.Now())
+		i.SyncEnd(r, op, start, r.Now())
 	}
 }

@@ -17,9 +17,26 @@ import (
 	"iobehind/internal/pfs"
 )
 
+// Op describes one blocking MPI-IO operation to an Interceptor: the file,
+// the access class, the file offset and byte count the application asked
+// for, and whether the call was a collective (write_at_all / read_at_all —
+// Bytes is then the per-rank piece, as each rank passed it). The offset is
+// carried for observers (tracers, trace emitters) even though the fluid
+// file-system model does not price it; see File.collective.
+type Op struct {
+	File       *File
+	Class      pfs.Class
+	Offset     int64
+	Bytes      int64
+	Collective bool
+}
+
 // Interceptor observes MPI-IO activity on one world. All methods run on
 // the calling rank's goroutine, so an implementation may charge tracing
 // overhead by sleeping the rank. A nil interceptor means no tracing.
+//
+// An Interceptor that additionally implements OpenObserver is also told
+// about every System.Open.
 type Interceptor interface {
 	// AsyncSubmitted fires when a rank issues a non-blocking operation
 	// (MPI_File_iwrite_at / iread_at), right after submission.
@@ -28,9 +45,68 @@ type Interceptor interface {
 	WaitBegin(r *mpi.Rank, req *Request)
 	WaitEnd(r *mpi.Rank, req *Request)
 	// SyncBegin and SyncEnd bracket a blocking operation
-	// (MPI_File_write_at / read_at).
-	SyncBegin(r *mpi.Rank, f *File, class pfs.Class, bytes int64)
-	SyncEnd(r *mpi.Rank, f *File, class pfs.Class, bytes int64, start, end des.Time)
+	// (MPI_File_write_at / read_at and their _all collective variants).
+	SyncBegin(r *mpi.Rank, op Op)
+	SyncEnd(r *mpi.Rank, op Op, start, end des.Time)
+}
+
+// OpenObserver is an optional extension of Interceptor: implementations
+// are notified when a rank opens a file (MPI_File_open), before any I/O
+// on the handle. Trace emitters use it to bind file ids to path names.
+type OpenObserver interface {
+	FileOpened(r *mpi.Rank, f *File)
+}
+
+// tee fans every interception out to several interceptors in order. The
+// order is load-bearing: a zero-cost observer (e.g. a trace emitter) listed
+// before a tracer that charges simulated overhead sees event times before
+// that overhead is applied.
+type tee struct{ members []Interceptor }
+
+// Tee combines interceptors into one; nil members are skipped. Events are
+// delivered in member order. FileOpened reaches the members that implement
+// OpenObserver.
+func Tee(members ...Interceptor) Interceptor {
+	t := &tee{}
+	for _, m := range members {
+		if m != nil {
+			t.members = append(t.members, m)
+		}
+	}
+	return t
+}
+
+func (t *tee) AsyncSubmitted(r *mpi.Rank, req *Request) {
+	for _, m := range t.members {
+		m.AsyncSubmitted(r, req)
+	}
+}
+func (t *tee) WaitBegin(r *mpi.Rank, req *Request) {
+	for _, m := range t.members {
+		m.WaitBegin(r, req)
+	}
+}
+func (t *tee) WaitEnd(r *mpi.Rank, req *Request) {
+	for _, m := range t.members {
+		m.WaitEnd(r, req)
+	}
+}
+func (t *tee) SyncBegin(r *mpi.Rank, op Op) {
+	for _, m := range t.members {
+		m.SyncBegin(r, op)
+	}
+}
+func (t *tee) SyncEnd(r *mpi.Rank, op Op, start, end des.Time) {
+	for _, m := range t.members {
+		m.SyncEnd(r, op, start, end)
+	}
+}
+func (t *tee) FileOpened(r *mpi.Rank, f *File) {
+	for _, m := range t.members {
+		if o, ok := m.(OpenObserver); ok {
+			o.FileOpened(r, f)
+		}
+	}
 }
 
 // System is the MPI-IO subsystem of one world: one I/O agent per rank plus
@@ -117,7 +193,11 @@ func (s *System) stallOnStorm(r *mpi.Rank, class pfs.Class) {
 // models HACC-IO's individual-file-pointer mode; a shared name works too
 // since the simulated file system tracks bandwidth, not contents.
 func (s *System) Open(r *mpi.Rank, name string) *File {
-	return &File{sys: s, r: r, name: name}
+	f := &File{sys: s, r: r, name: name}
+	if o, ok := s.interceptor.(OpenObserver); ok {
+		o.FileOpened(r, f)
+	}
+	return f
 }
 
 // File is an open MPI file handle bound to one rank.
@@ -142,16 +222,16 @@ func (f *File) WriteAt(offset, bytes int64) { f.sync(pfs.Write, offset, bytes) }
 func (f *File) ReadAt(offset, bytes int64) { f.sync(pfs.Read, offset, bytes) }
 
 func (f *File) sync(class pfs.Class, offset, bytes int64) {
-	_ = offset // the fluid file system model is offset-agnostic
+	op := Op{File: f, Class: class, Offset: offset, Bytes: bytes}
 	if i := f.sys.interceptor; i != nil {
-		i.SyncBegin(f.r, f, class, bytes)
+		i.SyncBegin(f.r, op)
 	}
 	start := f.r.Now()
 	f.sys.stallOnStorm(f.r, class)
 	req := f.sys.agents[f.r.ID()].Submit(class, bytes, false)
 	req.Wait(f.r.Proc())
 	if i := f.sys.interceptor; i != nil {
-		i.SyncEnd(f.r, f, class, bytes, start, f.r.Now())
+		i.SyncEnd(f.r, op, start, f.r.Now())
 	}
 }
 
@@ -167,10 +247,9 @@ func (f *File) IreadAt(offset, bytes int64) *Request {
 }
 
 func (f *File) async(class pfs.Class, offset, bytes int64) *Request {
-	_ = offset
 	f.sys.stallOnStorm(f.r, class)
 	inner := f.sys.agents[f.r.ID()].Submit(class, bytes, true)
-	req := &Request{f: f, r: f.r, inner: inner, class: class, bytes: bytes}
+	req := &Request{f: f, r: f.r, inner: inner, class: class, offset: offset, bytes: bytes}
 	if i := f.sys.interceptor; i != nil {
 		i.AsyncSubmitted(f.r, req)
 	}
@@ -183,6 +262,7 @@ type Request struct {
 	r      *mpi.Rank
 	inner  *adio.Request
 	class  pfs.Class
+	offset int64
 	bytes  int64
 	waited bool
 }
@@ -192,6 +272,11 @@ func (q *Request) File() *File { return q.f }
 
 // Class returns whether the operation is a read or a write.
 func (q *Request) Class() pfs.Class { return q.class }
+
+// Offset returns the file offset the application asked for. The fluid
+// file-system model does not price offsets, but observers (trace emitters)
+// need them to reproduce the application's access pattern.
+func (q *Request) Offset() int64 { return q.offset }
 
 // Bytes returns the operation size.
 func (q *Request) Bytes() int64 { return q.bytes }

@@ -137,6 +137,8 @@ func TestAgentLimitAppliesToFileOps(t *testing.T) {
 
 type recordingInterceptor struct {
 	events []string
+	ops    []Op
+	opened []string
 }
 
 func (ri *recordingInterceptor) AsyncSubmitted(r *mpi.Rank, req *Request) {
@@ -148,11 +150,15 @@ func (ri *recordingInterceptor) WaitBegin(r *mpi.Rank, req *Request) {
 func (ri *recordingInterceptor) WaitEnd(r *mpi.Rank, req *Request) {
 	ri.events = append(ri.events, "wait-end")
 }
-func (ri *recordingInterceptor) SyncBegin(r *mpi.Rank, f *File, c pfs.Class, b int64) {
+func (ri *recordingInterceptor) SyncBegin(r *mpi.Rank, op Op) {
 	ri.events = append(ri.events, "sync-begin")
+	ri.ops = append(ri.ops, op)
 }
-func (ri *recordingInterceptor) SyncEnd(r *mpi.Rank, f *File, c pfs.Class, b int64, s, e des.Time) {
+func (ri *recordingInterceptor) SyncEnd(r *mpi.Rank, op Op, s, e des.Time) {
 	ri.events = append(ri.events, "sync-end")
+}
+func (ri *recordingInterceptor) FileOpened(r *mpi.Rank, f *File) {
+	ri.opened = append(ri.opened, f.Name())
 }
 
 func TestInterceptorSeesAllCalls(t *testing.T) {
@@ -280,6 +286,98 @@ func TestCollectiveReadAndTracing(t *testing.T) {
 		t.Fatalf("sync events: %d begins, %d ends", begins, ends)
 	}
 	_ = e
+}
+
+// TestCollectiveOffsetModeling pins the documented modeling decision in
+// collective.go: the offset is reported to the interceptor verbatim, and —
+// because the fluid file-system model is offset-agnostic — it must not
+// change the collective's timing.
+func TestCollectiveOffsetModeling(t *testing.T) {
+	run := func(offset int64) (end des.Time, ops []Op) {
+		e := des.NewEngine(1)
+		w := mpi.NewWorld(e, mpi.Config{Size: 4, RanksPerNode: 4})
+		fs := pfs.New(e, pfs.Config{WriteCapacity: 100e6, ReadCapacity: 100e6})
+		sys := NewSystem(w, fs, adio.Config{})
+		ri := &recordingInterceptor{}
+		sys.SetInterceptor(ri)
+		if err := w.Run(func(r *mpi.Rank) {
+			f := sys.Open(r, "shared.dat")
+			f.WriteAtAll(offset, 10e6)
+			if r.ID() == 0 {
+				end = r.Now()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return end, ri.ops
+	}
+	endZero, opsZero := run(0)
+	endFar, opsFar := run(1 << 40)
+	if endZero != endFar {
+		t.Errorf("offset changed collective timing: %v vs %v", endZero, endFar)
+	}
+	if len(opsZero) != 4 || len(opsFar) != 4 {
+		t.Fatalf("ops recorded: %d and %d, want 4 each", len(opsZero), len(opsFar))
+	}
+	for _, op := range opsFar {
+		if op.Offset != 1<<40 {
+			t.Errorf("interceptor saw offset %d, want %d", op.Offset, int64(1)<<40)
+		}
+		if !op.Collective {
+			t.Error("collective op not flagged Collective")
+		}
+	}
+}
+
+func TestInterceptorSeesOffsets(t *testing.T) {
+	_, w, sys := newSystem(t, 1)
+	ri := &recordingInterceptor{}
+	sys.SetInterceptor(ri)
+	if err := w.Run(func(r *mpi.Rank) {
+		f := sys.Open(r, "out.dat")
+		f.WriteAt(4096, 1000)
+		req := f.IreadAt(8192, 500)
+		if req.Offset() != 8192 {
+			t.Errorf("Request.Offset = %d, want 8192", req.Offset())
+		}
+		req.Wait()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ri.ops) != 1 || ri.ops[0].Offset != 4096 || ri.ops[0].Bytes != 1000 {
+		t.Fatalf("sync op = %+v, want offset 4096 bytes 1000", ri.ops)
+	}
+	if ri.ops[0].Collective {
+		t.Error("plain sync op flagged Collective")
+	}
+	if len(ri.opened) != 1 || ri.opened[0] != "out.dat" {
+		t.Errorf("FileOpened saw %v, want [out.dat]", ri.opened)
+	}
+}
+
+func TestTeeFansOutInOrder(t *testing.T) {
+	_, w, sys := newSystem(t, 1)
+	a, b := &recordingInterceptor{}, &recordingInterceptor{}
+	sys.SetInterceptor(Tee(a, nil, b))
+	if err := w.Run(func(r *mpi.Rank) {
+		f := sys.Open(r, "out.dat")
+		f.WriteAt(0, 1000)
+		req := f.IwriteAt(0, 1000)
+		req.Wait()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.events) != len(b.events) || len(a.events) != 5 {
+		t.Fatalf("tee delivered %d/%d events, want 5/5", len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		if a.events[i] != b.events[i] {
+			t.Fatalf("tee order diverged: %v vs %v", a.events, b.events)
+		}
+	}
+	if len(a.opened) != 1 || len(b.opened) != 1 {
+		t.Errorf("FileOpened fan-out: %v / %v", a.opened, b.opened)
+	}
 }
 
 func TestInfoHints(t *testing.T) {

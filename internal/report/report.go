@@ -122,6 +122,20 @@ func Seconds(d des.Duration) string {
 // Pct formats a percentage.
 func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
 
+// Bytes formats a byte count in human units.
+func Bytes(v int64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", v)
+	}
+}
+
 // sparkLevels are the eight block glyphs of a sparkline.
 var sparkLevels = []rune("▁▂▃▄▅▆▇█")
 

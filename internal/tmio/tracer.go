@@ -302,17 +302,17 @@ func (t *Tracer) WaitEnd(r *mpi.Rank, req *mpiio.Request) {
 }
 
 // SyncBegin implements mpiio.Interceptor.
-func (t *Tracer) SyncBegin(r *mpi.Rank, f *mpiio.File, class pfs.Class, bytes int64) {
+func (t *Tracer) SyncBegin(r *mpi.Rank, op mpiio.Op) {
 	rt := t.ranks[r.ID()]
 	rt.charge()
 }
 
 // SyncEnd implements mpiio.Interceptor.
-func (t *Tracer) SyncEnd(r *mpi.Rank, f *mpiio.File, class pfs.Class, bytes int64, start, end des.Time) {
+func (t *Tracer) SyncEnd(r *mpi.Rank, op mpiio.Op, start, end des.Time) {
 	rt := t.ranks[r.ID()]
 	rt.syncOps++
-	rt.syncTotal[class] += end.Sub(start)
-	rt.syncBytes[class] += bytes
+	rt.syncTotal[op.Class] += end.Sub(start)
+	rt.syncBytes[op.Class] += op.Bytes
 }
 
 // closePhase computes B_ij over the open queue, derives and applies the

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrEmptyRecord is returned by DecodeRecord for blank input lines.
+var ErrEmptyRecord = errors.New("trace: empty record")
+
+// DecodeRecord parses one JSON line of the trace format. It is the single
+// decode path shared by every consumer (Parse, the CLI tools, tests,
+// fuzzing), so tolerance decisions live in one place:
+//
+//   - unknown fields and higher schema versions are accepted (the format
+//     only grows; encoding/json ignores what it does not know);
+//   - surrounding whitespace is trimmed;
+//   - anything that is not one complete JSON object — truncated lines,
+//     trailing garbage, arrays, bare literals — is an error.
+//
+// On error the returned record is always the zero value, never a
+// partially decoded one, so callers cannot accidentally ingest fields
+// from a rejected line.
+func DecodeRecord(line []byte) (Record, error) {
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 {
+		return Record{}, ErrEmptyRecord
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	var rec Record
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("trace: decode record: %w", err)
+	}
+	// json.Decoder stops at the end of the first value; a second value on
+	// the line (e.g. `{...}{...}` from a torn write) means the framing is
+	// broken and the line cannot be trusted.
+	if dec.More() {
+		return Record{}, errors.New("trace: decode record: trailing data after record")
+	}
+	return rec, nil
+}
+
+// opKnown reports whether the op name is one this version understands.
+func opKnown(op string) bool {
+	switch op {
+	case OpMeta, OpOpen, OpWriteAt, OpReadAt, OpWriteAtAll, OpReadAtAll,
+		OpIwriteAt, OpIreadAt, OpWait, OpBarrier, OpFinalize:
+		return true
+	}
+	return false
+}
+
+// synchronizing reports whether the op is a world-wide rendezvous: every
+// rank must issue the same sequence of these or the replay deadlocks.
+func synchronizing(op string) bool {
+	switch op {
+	case OpBarrier, OpWriteAtAll, OpReadAtAll:
+		return true
+	}
+	return false
+}
+
+// Parse reads a whole JSON-lines trace, validates it, and groups the
+// records per rank in issue order. Blank lines are skipped; records with
+// unknown op names are dropped and counted (Trace.Skipped). Any framing
+// error, a missing or malformed meta header, or a validation failure
+// (timestamps running backwards, unknown or double-waited request ids,
+// mismatched collective sequences across ranks, ops after finalize)
+// rejects the whole trace: a replay must never start from a trace that
+// could deadlock or misorder halfway through.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	tr := &Trace{}
+	lineNo := 0
+	seenMeta := false
+	for sc.Scan() {
+		lineNo++
+		rec, err := DecodeRecord(sc.Bytes())
+		if err != nil {
+			if errors.Is(err, ErrEmptyRecord) {
+				continue
+			}
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		if !seenMeta {
+			if rec.Op != OpMeta {
+				return nil, fmt.Errorf("trace: line %d: first record must be %q, got %q", lineNo, OpMeta, rec.Op)
+			}
+			if rec.Ranks < 1 {
+				return nil, fmt.Errorf("trace: line %d: meta names %d ranks, want ≥ 1", lineNo, rec.Ranks)
+			}
+			tr.App = rec.App
+			tr.Version = rec.V
+			tr.Ranks = rec.Ranks
+			tr.RanksPerNode = rec.RPN
+			tr.Clock = rec.Clock
+			if tr.Clock == "" {
+				tr.Clock = "sim"
+			}
+			tr.PerRank = make([][]Record, rec.Ranks)
+			seenMeta = true
+			continue
+		}
+		if rec.Op == OpMeta {
+			return nil, fmt.Errorf("trace: line %d: duplicate meta record", lineNo)
+		}
+		if !opKnown(rec.Op) {
+			tr.Skipped++
+			continue
+		}
+		if rec.Rank < 0 || rec.Rank >= tr.Ranks {
+			return nil, fmt.Errorf("trace: line %d: rank %d outside [0, %d)", lineNo, rec.Rank, tr.Ranks)
+		}
+		tr.PerRank[rec.Rank] = append(tr.PerRank[rec.Rank], rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if !seenMeta {
+		return nil, errors.New("trace: no records (missing meta header)")
+	}
+	if err := tr.validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// validate enforces the per-rank and cross-rank invariants the replayer
+// depends on.
+func (tr *Trace) validate() error {
+	var syncSeq0 []string
+	for rank, ops := range tr.PerRank {
+		var lastT int64
+		outstanding := map[int]bool{}
+		finalized := false
+		var syncSeq []string
+		for i, rec := range ops {
+			where := fmt.Sprintf("trace: rank %d op %d (%s)", rank, i, rec.Op)
+			if finalized {
+				return fmt.Errorf("%s: operation after finalize", where)
+			}
+			if rec.T < 0 {
+				return fmt.Errorf("%s: negative timestamp %d", where, rec.T)
+			}
+			if rec.T < lastT {
+				return fmt.Errorf("%s: timestamp %d before previous %d", where, rec.T, lastT)
+			}
+			lastT = rec.T
+			if rec.Te != 0 && rec.Te < rec.T {
+				return fmt.Errorf("%s: te %d before t %d", where, rec.Te, rec.T)
+			}
+			if rec.N < 0 || rec.Off < 0 {
+				return fmt.Errorf("%s: negative size or offset", where)
+			}
+			switch rec.Op {
+			case OpIwriteAt, OpIreadAt:
+				if outstanding[rec.Rid] {
+					return fmt.Errorf("%s: request id %d reused while outstanding", where, rec.Rid)
+				}
+				outstanding[rec.Rid] = true
+			case OpWait:
+				if !outstanding[rec.Rid] {
+					return fmt.Errorf("%s: wait for unknown or already-waited request id %d", where, rec.Rid)
+				}
+				delete(outstanding, rec.Rid)
+			case OpFinalize:
+				finalized = true
+			}
+			if synchronizing(rec.Op) {
+				syncSeq = append(syncSeq, rec.Op)
+			}
+		}
+		if len(outstanding) > 0 {
+			return fmt.Errorf("trace: rank %d ends with %d unwaited requests", rank, len(outstanding))
+		}
+		if rank == 0 {
+			syncSeq0 = syncSeq
+		} else if len(syncSeq) != len(syncSeq0) {
+			return fmt.Errorf("trace: rank %d has %d synchronizing ops, rank 0 has %d — replay would deadlock",
+				rank, len(syncSeq), len(syncSeq0))
+		} else {
+			for i := range syncSeq {
+				if syncSeq[i] != syncSeq0[i] {
+					return fmt.Errorf("trace: rank %d synchronizing op %d is %s, rank 0 issued %s — replay would deadlock",
+						rank, i, syncSeq[i], syncSeq0[i])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Package trace defines the versioned JSON-lines I/O trace format: a
+// compact record of per-rank timestamped MPI-IO operations that any real
+// application trace can be converted into, plus an emitter that captures a
+// trace from a simulated run and a replayer that drives the simulated
+// cluster from one. The normative specification of the wire format lives
+// in docs/TRACE_FORMAT.md; this package is the reference implementation.
+//
+// A trace file is a sequence of JSON objects, one per line. The first
+// record must be the meta header (Op "meta") naming the schema version,
+// the rank count and the timestamp clock; every following record is one
+// operation of one rank. Per-rank record order is the rank's program
+// order, with non-decreasing timestamps.
+package trace
+
+import "fmt"
+
+// Version is the trace schema version this package emits. Decoders accept
+// records with any version — the schema only grows, and unknown fields are
+// ignored — so a higher version is not an error.
+const Version = 1
+
+// Operation names, the Op field of a Record. Unknown names are skipped by
+// Parse (counted in Trace.Skipped) so future op kinds do not break old
+// readers.
+const (
+	// OpMeta is the header record: first line of every trace.
+	OpMeta = "meta"
+	// OpOpen binds a file id (Fid) to a path for one rank.
+	OpOpen = "open"
+	// OpWriteAt and OpReadAt are blocking individual operations
+	// (MPI_File_write_at / read_at). T is the call time, Te the return.
+	OpWriteAt = "write_at"
+	OpReadAt  = "read_at"
+	// OpWriteAtAll and OpReadAtAll are the collective variants; N is the
+	// per-rank piece, as each rank passed it.
+	OpWriteAtAll = "write_at_all"
+	OpReadAtAll  = "read_at_all"
+	// OpIwriteAt and OpIreadAt are non-blocking submissions
+	// (MPI_File_iwrite_at / iread_at); Rid names the request for the
+	// matching wait.
+	OpIwriteAt = "iwrite_at"
+	OpIreadAt  = "iread_at"
+	// OpWait is the matching completion (MPI_Wait) of request Rid. T is
+	// when the wait began, Te when it returned.
+	OpWait = "wait"
+	// OpBarrier is an MPI_Barrier over all ranks. The simulated emitter
+	// cannot observe application barriers (they do not pass through the
+	// MPI-IO layer), but external traces may carry them and the replayer
+	// honors them.
+	OpBarrier = "barrier"
+	// OpFinalize is MPI_Finalize; at most one per rank, as its last op.
+	OpFinalize = "finalize"
+)
+
+// Record is one line of a trace file. Fields are tagged for the compact
+// JSON-lines encoding; zero-valued optional fields are omitted. All
+// timestamps are integer nanoseconds on the trace's clock (Meta Clock
+// field: "sim" for virtual time, "wall" for wall-clock time re-based to
+// the application start).
+type Record struct {
+	// V is the schema version; only meaningful on the meta record. 0 on a
+	// non-meta record means "same as the header".
+	V int `json:"v,omitempty"`
+	// Op is the operation name, one of the Op* constants.
+	Op string `json:"op"`
+	// Rank is the issuing rank, 0-based. 0 on the meta record.
+	Rank int `json:"rank"`
+	// Node and Job optionally tag the rank's placement and the batch job.
+	Node int `json:"node,omitempty"`
+	Job  int `json:"job,omitempty"`
+	// T is when the operation was issued; Te, when set, is when the
+	// blocking call (sync op, wait) returned. Nanoseconds.
+	T  int64 `json:"t,omitempty"`
+	Te int64 `json:"te,omitempty"`
+
+	// Meta-only fields.
+	App   string `json:"app,omitempty"`
+	Ranks int    `json:"ranks,omitempty"`
+	RPN   int    `json:"rpn,omitempty"`   // ranks per node
+	Clock string `json:"clock,omitempty"` // "sim" or "wall"
+
+	// File identifies the target: Fid is a per-rank handle id assigned at
+	// open; File carries the path on the open record.
+	File string `json:"file,omitempty"`
+	Fid  int    `json:"fid,omitempty"`
+	// Off and N are the operation's file offset and byte count.
+	Off int64 `json:"off,omitempty"`
+	N   int64 `json:"n,omitempty"`
+	// Rid links a non-blocking submission to its wait, unique per rank.
+	Rid int `json:"rid,omitempty"`
+}
+
+// Trace is a parsed, validated trace: the header fields plus each rank's
+// operations in program order. Build one with Parse.
+type Trace struct {
+	App          string
+	Version      int
+	Ranks        int
+	RanksPerNode int
+	Clock        string
+	// PerRank[r] is rank r's operations in issue order (no meta records).
+	PerRank [][]Record
+	// Skipped counts records with unknown op names that were tolerated
+	// and dropped (forward compatibility).
+	Skipped int
+}
+
+// Ops returns the total operation count across ranks.
+func (tr *Trace) Ops() int {
+	n := 0
+	for _, ops := range tr.PerRank {
+		n += len(ops)
+	}
+	return n
+}
+
+func (tr *Trace) String() string {
+	return fmt.Sprintf("trace.Trace{app: %q, ranks: %d, ops: %d}",
+		tr.App, tr.Ranks, tr.Ops())
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeTraceRecord hammers the trace format's shared JSON-lines
+// decode path with arbitrary bytes, mirroring tmio.FuzzDecodeStreamRecord.
+// Beyond not panicking, it checks the decode contract Parse depends on:
+//
+//   - errors always come with a zero record (no partially decoded fields
+//     can leak into a replay);
+//   - an accepted record survives a marshal/decode round trip unchanged
+//     (re-encoding is how traces are filtered and rewritten);
+//   - whitespace framing never changes the outcome.
+func FuzzDecodeTraceRecord(f *testing.F) {
+	// A full meta header, as Emitter.Encode emits it.
+	f.Add(`{"v":1,"op":"meta","rank":0,"app":"hacc-run","ranks":4,"rpn":2,"clock":"sim"}`)
+	// Typical op records.
+	f.Add(`{"op":"open","rank":3,"node":1,"t":1200,"file":"hacc-000003.bin","fid":1}`)
+	f.Add(`{"op":"write_at","rank":0,"t":1500000,"te":2500000,"fid":1,"off":4096,"n":1048576}`)
+	f.Add(`{"op":"iwrite_at","rank":1,"t":3000000,"fid":1,"off":0,"n":8388608,"rid":2}`)
+	f.Add(`{"op":"wait","rank":1,"t":5000000,"te":5100000,"rid":2}`)
+	f.Add(`{"op":"write_at_all","rank":2,"t":100,"te":900,"fid":1,"n":65536}`)
+	f.Add(`{"op":"barrier","rank":0,"t":77}`)
+	f.Add(`{"op":"finalize","rank":0,"t":9000000000}`)
+	// Truncated mid-object (torn write).
+	f.Add(`{"op":"write_at","rank":3,"t":15`)
+	// Unknown fields and a future schema version must decode.
+	f.Add(`{"v":99,"op":"mmap","rank":1,"t":5,"future_field":{"x":[1,2]},"note":"hi"}`)
+	// Two records on one line: broken framing, must be rejected.
+	f.Add(`{"op":"barrier","rank":1,"t":1}{"op":"barrier","rank":2,"t":1}`)
+	// Wrong JSON shapes.
+	f.Add(`[1,2,3]`)
+	f.Add(`"just a string"`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Add(`   `)
+	f.Add(`{"rank":"not a number"}`)
+	// Deep nesting in an ignored field.
+	f.Add(`{"op":"open","rank":1,"x":` + strings.Repeat(`[`, 64) + strings.Repeat(`]`, 64) + `}`)
+
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := DecodeRecord([]byte(line))
+		if err != nil {
+			if rec != (Record{}) {
+				t.Fatalf("error %v returned non-zero record %+v", err, rec)
+			}
+			return
+		}
+		// Round trip: an accepted record re-encodes and re-decodes to
+		// itself, so rewriting a trace is lossless.
+		encoded, merr := json.Marshal(rec)
+		if merr != nil {
+			t.Fatalf("accepted record %+v does not re-marshal: %v", rec, merr)
+		}
+		again, derr := DecodeRecord(encoded)
+		if derr != nil {
+			t.Fatalf("re-decoding %s failed: %v", encoded, derr)
+		}
+		if again != rec {
+			t.Fatalf("round trip changed record: %+v -> %+v", rec, again)
+		}
+		// Framing whitespace is irrelevant.
+		padded, perr := DecodeRecord([]byte("  \t" + line + "\r\n"))
+		if perr != nil || padded != rec {
+			t.Fatalf("whitespace padding changed outcome: rec=%+v err=%v", padded, perr)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+
+	"iobehind/internal/des"
+	"iobehind/internal/mpi"
+	"iobehind/internal/mpiio"
+)
+
+// ReplayMain returns a per-rank main function that drives the simulated
+// cluster from a parsed trace, the way the built-in workloads drive it
+// from their models: hand it to mpi.World.Run on a world with exactly
+// tr.Ranks ranks.
+//
+// The replay preserves, per rank, the trace's operation order, the
+// absolute issue times (the inter-op gaps become compute), and the
+// submit/wait pairing of asynchronous requests. Before each operation the
+// rank computes up to the recorded issue time; if the simulated system is
+// slower than the traced one (tighter bandwidth, added tracer overhead),
+// the rank is already past that time and issues immediately — gaps
+// collapse, they never run backwards. Replaying a trace against the same
+// configuration it was emitted from therefore reproduces the original
+// timeline exactly; replaying against a different configuration answers
+// "what would this application have done on that system".
+func ReplayMain(sys *mpiio.System, tr *Trace) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		if sys.World().Size() != tr.Ranks {
+			panic(fmt.Sprintf("trace: replaying a %d-rank trace on a %d-rank world",
+				tr.Ranks, sys.World().Size()))
+		}
+		ops := tr.PerRank[r.ID()]
+		files := map[int]*mpiio.File{}
+		pending := map[int]*mpiio.Request{}
+
+		sleepTo := func(t int64) {
+			if target := des.Time(t); target > r.Now() {
+				r.Compute(target.Sub(r.Now()))
+			}
+		}
+		file := func(rec Record) *mpiio.File {
+			if f, ok := files[rec.Fid]; ok {
+				return f
+			}
+			// A trace without open records (minimal external emitters)
+			// still replays: handles appear on first use.
+			f := sys.Open(r, fmt.Sprintf("trace-r%06d-f%d", r.ID(), rec.Fid))
+			files[rec.Fid] = f
+			return f
+		}
+
+		finalized := false
+		for _, rec := range ops {
+			sleepTo(rec.T)
+			switch rec.Op {
+			case OpOpen:
+				name := rec.File
+				if name == "" {
+					name = fmt.Sprintf("trace-r%06d-f%d", r.ID(), rec.Fid)
+				}
+				files[rec.Fid] = sys.Open(r, name)
+			case OpWriteAt:
+				file(rec).WriteAt(rec.Off, rec.N)
+			case OpReadAt:
+				file(rec).ReadAt(rec.Off, rec.N)
+			case OpWriteAtAll:
+				file(rec).WriteAtAll(rec.Off, rec.N)
+			case OpReadAtAll:
+				file(rec).ReadAtAll(rec.Off, rec.N)
+			case OpIwriteAt:
+				pending[rec.Rid] = file(rec).IwriteAt(rec.Off, rec.N)
+			case OpIreadAt:
+				pending[rec.Rid] = file(rec).IreadAt(rec.Off, rec.N)
+			case OpWait:
+				// Validation guarantees the rid is outstanding.
+				pending[rec.Rid].Wait()
+				delete(pending, rec.Rid)
+			case OpBarrier:
+				r.Barrier()
+			case OpFinalize:
+				r.Finalize()
+				finalized = true
+			}
+		}
+		if !finalized {
+			r.Finalize()
+		}
+	}
+}
