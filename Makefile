@@ -12,7 +12,7 @@ BENCH_TIME     ?= 200ms
 BENCH_COUNT    ?= 5
 NS_THRESHOLD   ?= 0.10
 
-.PHONY: all build vet lint test race bench bench-json bench-check docs-check sweep gateway-smoke faults-smoke ci clean
+.PHONY: all build vet lint test race bench bench-json bench-check docs-check sweep gateway-smoke faults-smoke fabric-smoke ci clean
 
 all: ci
 
@@ -43,9 +43,12 @@ test:
 # simulation kernel (des, pfs) rides along so the AllocsPerRun guards
 # and the event-pool recycling hold under the race detector too, and
 # internal/trace exercises the emit → replay round trip (including the
-# 4-rank replay) under the detector.
+# 4-rank replay) under the detector. internal/fabric runs its whole
+# coordinator/worker suite here — lease expiry re-dispatch, duplicate
+# completions, kill/restart resume, and the distributed-vs-serial
+# integration test all race real goroutines over real sockets.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/gateway/... ./internal/tmio/... ./internal/faults/... ./internal/des/... ./internal/pfs/... ./internal/trace/...
+	$(GO) test -race ./internal/runner/... ./internal/gateway/... ./internal/tmio/... ./internal/faults/... ./internal/des/... ./internal/pfs/... ./internal/trace/... ./internal/fabric/...
 
 # Fail when a figure experiment in internal/experiments has no row in
 # EXPERIMENTS.md's figure↔code table (see cmd/iodocscheck).
@@ -63,6 +66,14 @@ gateway-smoke:
 # recovered after the windows closed).
 faults-smoke:
 	$(GO) run ./cmd/iosweep -figs faults -check-faults
+
+# End-to-end distributed-sweep check on loopback: a coordinator, two
+# workers (one killed after the first accepted result so its leases
+# re-dispatch), a shared HTTP cache server, and a submission of every
+# figure at quick scale whose rendered output must be byte-identical to
+# the serial runner's.
+fabric-smoke:
+	$(GO) run ./cmd/iofabric -smoke -q
 
 # Kernel hot-path benchmarks (des, pfs) plus the figure benchmarks with
 # the paper's headline metrics and the serial-vs-parallel-vs-warm-cache
@@ -89,7 +100,7 @@ bench-check:
 sweep:
 	$(GO) run ./cmd/iosweep -figs all -scale quick -j 0 -cache .iosweep-cache
 
-ci: vet build lint test race docs-check bench-check
+ci: vet build lint test race docs-check bench-check fabric-smoke
 
 clean:
 	rm -rf .iosweep-cache

@@ -1,0 +1,230 @@
+// Command iofabric runs the distributed sweep coordinator: it accepts
+// sweep manifests from iosweep -fabric, leases points to attached
+// ioworker processes, re-dispatches leases that expire (straggler
+// speculation — the first byte-identical result wins), journals accepted
+// results so a killed coordinator resumes where it stopped, and serves
+// the shared content-addressed result cache plus /metrics over HTTP.
+//
+//	iofabric                                         # defaults: :7777 TCP, :7778 HTTP
+//	iofabric -listen 0.0.0.0:7777 -http 0.0.0.0:7778 -cache .iofabric-cache -journal fabric.jsonl
+//	iofabric -smoke                                  # self-contained distributed-vs-serial check
+//
+// The HTTP endpoint serves GET/PUT /cache/{key} (the shared cache the
+// workers and iosweep -cache-server speak), GET /metrics (Prometheus
+// text exposition: points pending/in-flight/done, re-dispatches,
+// per-worker liveness, cache hit ratio), and GET /healthz.
+//
+// -smoke runs the whole fabric against itself on loopback: a coordinator,
+// two in-process workers, one of which is killed after the first accepted
+// result so its leases re-dispatch, and a submission of every figure at
+// quick scale whose rendered output is compared byte-for-byte against the
+// serial runner. Exit status 0 means the fabric path is sound end to end.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"iobehind/internal/experiments"
+	"iobehind/internal/fabric"
+	"iobehind/internal/runner"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listen := flag.String("listen", "127.0.0.1:7777", "TCP address for the fabric protocol (workers and submissions)")
+	httpAddr := flag.String("http", "127.0.0.1:7778", "HTTP address for the shared cache, /metrics, and /healthz")
+	cacheDir := flag.String("cache", ".iofabric-cache", "content-addressed result cache directory")
+	journalPath := flag.String("journal", ".iofabric-journal.jsonl", "acceptance journal for crash resume (empty disables)")
+	lease := flag.Duration("lease", 60*time.Second, "lease timeout before a point is re-dispatched")
+	quiet := flag.Bool("q", false, "suppress per-lease logs")
+	smoke := flag.Bool("smoke", false, "run the self-contained distributed-vs-serial smoke check and exit")
+	smokeScale := flag.String("smoke-scale", "quick", "experiment scale for -smoke")
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	if *smoke {
+		return runSmoke(*smokeScale, logf)
+	}
+
+	cache, err := runner.OpenCache(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iofabric:", err)
+		return 1
+	}
+	co, err := fabric.NewCoordinator(fabric.Options{
+		Cache:        cache,
+		JournalPath:  *journalPath,
+		LeaseTimeout: *lease,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iofabric:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iofabric:", err)
+		return 1
+	}
+	co.Start(ln)
+	defer co.Close()
+
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: co.Handler()}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "iofabric: http:", err)
+		}
+	}()
+	defer httpSrv.Close()
+
+	fmt.Fprintf(os.Stderr, "iofabric: coordinator on %s, cache server on http://%s (cache %s, journal %s)\n",
+		ln.Addr(), *httpAddr, *cacheDir, *journalPath)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "iofabric: shutting down")
+	return 0
+}
+
+// runSmoke is the end-to-end self-check behind `make fabric-smoke`: a
+// loopback coordinator, two workers, a deterministic kill of one worker
+// after the first accepted result, and a byte-for-byte comparison of
+// every figure's rendered output against the serial runner.
+func runSmoke(scaleName string, logf func(string, ...any)) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "iofabric: smoke FAIL: "+format+"\n", args...)
+		return 1
+	}
+	scale, err := experiments.ParseScale(scaleName)
+	if err != nil {
+		return fail("%v", err)
+	}
+	plan, err := experiments.BuildPlan(nil, scale, 0)
+	if err != nil {
+		return fail("%v", err)
+	}
+	manifest, err := fabric.ManifestFor(plan.Points, plan.Refs)
+	if err != nil {
+		return fail("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "iofabric: smoke: %d points across %d experiments at %s scale\n",
+		len(plan.Points), len(plan.Entries), scale)
+
+	// Ground truth first: the serial, cache-less runner.
+	serialResults, err := runner.Serial().Run(context.Background(), plan.Points)
+	if err != nil {
+		return fail("serial run: %v", err)
+	}
+
+	tmp, err := os.MkdirTemp("", "iofabric-smoke-*")
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+	cache, err := runner.OpenCache(tmp)
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	workerCtx1, killWorker1 := context.WithCancel(context.Background())
+	defer killWorker1()
+	var killOnce sync.Once
+	co, err := fabric.NewCoordinator(fabric.Options{
+		Cache:        cache,
+		LeaseTimeout: 5 * time.Second,
+		IdleRetry:    10 * time.Millisecond,
+		Logf:         logf,
+		OnAccept: func(worker string, index int, pointKey string) {
+			killOnce.Do(func() {
+				logf("iofabric: smoke: killing worker w1 after first acceptance (%s)", pointKey)
+				killWorker1()
+			})
+		},
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("%v", err)
+	}
+	co.Start(ln)
+	defer co.Close()
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("%v", err)
+	}
+	httpSrv := &http.Server{Handler: co.Handler()}
+	go httpSrv.Serve(httpLn)
+	defer httpSrv.Close()
+	cacheURL := "http://" + httpLn.Addr().String()
+
+	workerCtx2, stopWorker2 := context.WithCancel(context.Background())
+	defer stopWorker2()
+	var wg sync.WaitGroup
+	for i, wctx := range []context.Context{workerCtx1, workerCtx2} {
+		wg.Add(1)
+		go func(i int, wctx context.Context) {
+			defer wg.Done()
+			fabric.RunWorker(wctx, fabric.WorkerOptions{
+				Coordinator: co.Addr(),
+				ID:          fmt.Sprintf("w%d", i+1),
+				Executors:   2,
+				RemoteCache: fabric.NewRemoteCache(cacheURL),
+				Logf:        logf,
+				MaxBackoff:  200 * time.Millisecond,
+			})
+		}(i, wctx)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	sub, err := fabric.Submit(ctx, co.Addr(), "iofabric-smoke", manifest, logf)
+	if err != nil {
+		return fail("submit: %v", err)
+	}
+	stopWorker2()
+	wg.Wait()
+
+	fabricResults, err := fabric.DecodeResults(plan.Points, sub)
+	if err != nil {
+		return fail("%v", err)
+	}
+	for _, e := range plan.Entries {
+		serialR, err := e.Exp.Assemble(serialResults[e.Offset : e.Offset+len(e.Exp.Points)])
+		if err != nil {
+			return fail("assemble %s (serial): %v", e.ID, err)
+		}
+		fabricR, err := e.Exp.Assemble(fabricResults[e.Offset : e.Offset+len(e.Exp.Points)])
+		if err != nil {
+			return fail("assemble %s (fabric): %v", e.ID, err)
+		}
+		if fabricR.Render() != serialR.Render() {
+			return fail("figure %s: distributed render differs from serial", e.ID)
+		}
+	}
+	snap := co.Snapshot()
+	fmt.Fprintf(os.Stderr, "iofabric: smoke PASS: %d points byte-identical to serial (computed=%d redispatches=%d duplicates=%d mismatches=%d, %d workers seen)\n",
+		len(plan.Points), sub.Stats.Computed, snap.Totals.Redispatches, snap.Totals.Duplicates, snap.Totals.Mismatches, len(snap.Workers))
+	if snap.Totals.Mismatches != 0 {
+		return fail("duplicate completions disagreed byte-for-byte")
+	}
+	return 0
+}

@@ -10,6 +10,8 @@
 //	iosweep -figs 5 -cpuprofile cpu.out -memprofile mem.out
 //	iosweep -emit-trace hacc.trace -workload hacc # record a workload's I/O trace
 //	iosweep -trace hacc.trace                     # replay a trace file
+//	iosweep -fabric 127.0.0.1:7777               # submit the sweep to a fabric coordinator
+//	iosweep -cache-server http://127.0.0.1:7778 -cache .iosweep-cache  # shared cache tier
 //
 // With -cache, completed points are memoized on disk keyed by a hash of
 // their full configuration (strategy, tolerances, rank count, file-system
@@ -26,6 +28,13 @@
 //
 // -cpuprofile and -memprofile write runtime/pprof profiles covering the
 // whole sweep; inspect them with `go tool pprof`.
+//
+// -fabric submits the sweep to an iofabric coordinator instead of running
+// it locally: points execute on whatever ioworker processes are attached,
+// results stream back, and the figures assemble locally — byte-identical
+// to the local run. -cache-server layers a shared HTTP cache (iofabric's
+// /cache endpoint) over the local -cache directory, so points computed
+// anywhere in the fabric are hits here too.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"iobehind/internal/experiments"
+	"iobehind/internal/fabric"
 	"iobehind/internal/profiling"
 	"iobehind/internal/runner"
 )
@@ -62,6 +72,8 @@ func run() int {
 	workload := flag.String("workload", "phased", "built-in workload for -emit-trace: phased, hacc, wacomm, or ior")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
+	fabricAddr := flag.String("fabric", "", "submit the sweep to the fabric coordinator at this TCP address instead of running locally")
+	cacheServer := flag.String("cache-server", "", "shared cache server URL (iofabric's HTTP endpoint), layered over -cache")
 	flag.Parse()
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -119,8 +131,8 @@ func run() int {
 		offset int // index of the experiment's first point in the flat sweep
 	}
 	var sweep []figExp
-	seen := map[string]bool{}
 	var points []runner.Point
+	var refs []experiments.PointRef
 	if *traceFile != "" {
 		// A trace replay replaces the figure sweep: the trace file is the
 		// experiment, and its content hash keys the runner cache, so
@@ -138,36 +150,46 @@ func run() int {
 		}
 		sweep = append(sweep, figExp{id: exp.Fig, exp: exp})
 		points = append(points, exp.Points...)
-		ids = nil
-	}
-	for _, id := range ids {
-		var exp *experiments.Experiment
-		if id == "faults" {
-			// The fault scenario is seedable from the command line; the seed
-			// lands in the point configs, so each seed caches separately.
-			exp = experiments.FigFaultsExperimentSeeded(scale, *faultSeed)
-		} else if e, ok := experiments.ByFig(id, scale); ok {
-			exp = e
-		} else {
-			fmt.Fprintf(os.Stderr, "iosweep: unknown figure %q\n", id)
+	} else {
+		// The plan is the same enumeration iofabric's self-run and any
+		// attached worker reproduce, so refs resolve identically there.
+		// The fault-scenario seed lands in the point configs (and refs),
+		// so each seed caches separately.
+		plan, err := experiments.BuildPlan(ids, scale, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iosweep:", err)
 			return 2
 		}
-		if seen[exp.Fig] {
-			continue
+		for _, e := range plan.Entries {
+			sweep = append(sweep, figExp{id: e.ID, exp: e.Exp, offset: e.Offset})
 		}
-		seen[exp.Fig] = true
-		sweep = append(sweep, figExp{id: id, exp: exp, offset: len(points)})
-		points = append(points, exp.Points...)
+		points, refs = plan.Points, plan.Refs
 	}
 
 	opts := runner.Options{Workers: *workers}
+	var cacheLabel string
+	var pointCache runner.PointCache
 	if *cacheDir != "" {
 		cache, err := runner.OpenCache(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iosweep:", err)
 			return 1
 		}
-		opts.Cache = cache
+		pointCache = cache
+		cacheLabel = *cacheDir
+	}
+	if *cacheServer != "" {
+		remote := fabric.NewRemoteCache(*cacheServer)
+		if pointCache != nil {
+			pointCache = fabric.NewTieredCache(pointCache, remote)
+			cacheLabel = *cacheDir + "+" + remote.URL()
+		} else {
+			pointCache = remote
+			cacheLabel = remote.URL()
+		}
+	}
+	if pointCache != nil {
+		opts.Cache = pointCache
 	}
 	r := runner.New(opts)
 
@@ -182,7 +204,36 @@ func run() int {
 	defer stop()
 
 	start := time.Now()
-	results, runErr := r.Run(ctx, points)
+	var results []runner.Result
+	var runErr error
+	var fabricStats *fabric.SweepStats
+	if *fabricAddr != "" {
+		if *traceFile != "" {
+			fmt.Fprintln(os.Stderr, "iosweep: -trace cannot run on the fabric (trace points resolve from file content, not a figure id)")
+			return 2
+		}
+		manifest, err := fabric.ManifestFor(points, refs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iosweep:", err)
+			return 1
+		}
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "iosweep: "+format+"\n", args...)
+		}
+		sub, err := fabric.Submit(ctx, *fabricAddr, "iosweep", manifest, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iosweep:", err)
+			return 1
+		}
+		fabricStats = &sub.Stats
+		results, err = fabric.DecodeResults(points, sub)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iosweep:", err)
+			return 1
+		}
+	} else {
+		results, runErr = r.Run(ctx, points)
+	}
 	wall := time.Since(start).Round(time.Millisecond)
 
 	failed := 0
@@ -218,12 +269,16 @@ func run() int {
 	}
 
 	cached := runner.CachedCount(results)
-	fmt.Fprintf(os.Stderr, "iosweep: %d points (%d computed, %d cached) across %d figures in %v with %d workers\n",
-		len(points), len(points)-cached, cached, len(sweep), wall, r.Workers())
-	if c := r.Cache(); c != nil {
-		st := c.Stats()
-		fmt.Fprintf(os.Stderr, "iosweep: cache %s: %d hits, %d misses, %d writes, %d errors\n",
-			c.Dir(), st.Hits, st.Misses, st.Writes, st.Errors)
+	if fabricStats != nil {
+		fmt.Fprintf(os.Stderr, "iosweep: fabric sweep of %d points (%d computed, %d journal, %d cache, %d redispatched) across %d figures in %v via %s\n",
+			fabricStats.Points, fabricStats.Computed, fabricStats.JournalHits, fabricStats.CacheHits,
+			fabricStats.Redispatches, len(sweep), wall, *fabricAddr)
+	} else {
+		fmt.Fprintf(os.Stderr, "iosweep: %d points (%d computed, %d cached) across %d figures in %v with %d workers\n",
+			len(points), len(points)-cached, cached, len(sweep), wall, r.Workers())
+	}
+	if c := r.Cache(); c != nil && fabricStats == nil {
+		fmt.Fprintln(os.Stderr, cacheStatsLine(cacheLabel, c.Stats()))
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "iosweep:", runErr)

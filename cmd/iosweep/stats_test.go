@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"iobehind/internal/runner"
+)
+
+// TestCacheStatsLineFormat pins the exact shape of the cache summary
+// line: cache effectiveness — local or via the fabric — must be visible
+// (and machine-parsable) without a debugger.
+func TestCacheStatsLineFormat(t *testing.T) {
+	got := cacheStatsLine(".iosweep-cache", runner.CacheStats{Hits: 3, Misses: 2, Writes: 2, Errors: 1})
+	want := "iosweep: cache .iosweep-cache: 3 hits, 2 misses, 2 writes, 1 errors"
+	if got != want {
+		t.Fatalf("cacheStatsLine = %q, want %q", got, want)
+	}
+
+	got = cacheStatsLine("http://127.0.0.1:7778", runner.CacheStats{})
+	want = "iosweep: cache http://127.0.0.1:7778: 0 hits, 0 misses, 0 writes, 0 errors"
+	if got != want {
+		t.Fatalf("cacheStatsLine = %q, want %q", got, want)
+	}
+}

@@ -113,7 +113,8 @@ func FigFaultsExperimentSeeded(scale Scale, seed int64) *Experiment {
 	faulted.faults = scenario
 
 	return &Experiment{
-		Fig: "faults",
+		Fig:  "faults",
+		Seed: seed,
 		Points: []runner.Point{
 			point(base, "clean"),
 			point(faulted, "faulted"),

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"testing"
+
+	"iobehind/internal/runner"
+)
+
+// TestResolveEveryBuiltinPoint walks every built-in experiment at quick
+// scale and asserts each enumerated ref resolves — on what a remote
+// worker would be: a fresh enumeration — to a point with the same key
+// and, critically, the same SHA-256 cache key. Key equality is what
+// makes remote execution sound: the worker computes exactly the point
+// the submitter hashed.
+func TestResolveEveryBuiltinPoint(t *testing.T) {
+	for _, fig := range FigOrder {
+		exp, ok := ByFig(fig, Quick)
+		if !ok {
+			t.Fatalf("figure %s missing", fig)
+		}
+		refs := ExperimentRefs(exp, Quick)
+		if len(refs) != len(exp.Points) {
+			t.Fatalf("figure %s: %d refs for %d points", fig, len(refs), len(exp.Points))
+		}
+		for i, ref := range refs {
+			p, err := ResolvePoint(ref)
+			if err != nil {
+				t.Fatalf("resolve %s: %v", ref, err)
+			}
+			if p.Key != exp.Points[i].Key {
+				t.Fatalf("ref %s resolved to key %q", ref, p.Key)
+			}
+			want, err := runner.CacheKey(exp.Points[i])
+			if err != nil {
+				t.Fatalf("cache key of %s: %v", exp.Points[i].Key, err)
+			}
+			got, err := runner.CacheKey(p)
+			if err != nil {
+				t.Fatalf("cache key of resolved %s: %v", ref, err)
+			}
+			if got != want {
+				t.Fatalf("ref %s: resolved cache key %s != enumerated %s", ref, got, want)
+			}
+		}
+	}
+}
+
+// TestResolveSeededFaults asserts the fault seed travels through the ref
+// and reproduces the seeded enumeration, not the default one.
+func TestResolveSeededFaults(t *testing.T) {
+	exp := FigFaultsExperimentSeeded(Quick, 42)
+	refs := ExperimentRefs(exp, Quick)
+	for i, ref := range refs {
+		if ref.FaultSeed != 42 {
+			t.Fatalf("ref %d carries seed %d, want 42", i, ref.FaultSeed)
+		}
+		p, err := ResolvePoint(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := runner.CacheKey(exp.Points[i])
+		got, _ := runner.CacheKey(p)
+		if got != want {
+			t.Fatalf("seeded ref %s: cache key mismatch", ref)
+		}
+	}
+}
+
+// TestResolveRejectsSkew pins the integrity checks: unknown figures, bad
+// scales, out-of-range indices, and key mismatches (the signature of a
+// submitter/worker version skew) all refuse to resolve.
+func TestResolveRejectsSkew(t *testing.T) {
+	good := ExperimentRefs(Fig05Experiment(Quick), Quick)[0]
+	bad := []PointRef{
+		{Fig: "nope", Scale: "quick"},
+		{Fig: "5", Scale: "medium"},
+		{Fig: "5", Scale: "quick", Index: 10_000},
+		{Fig: "5", Scale: "quick", Index: -1},
+		func() PointRef { r := good; r.Key = "fig05/quick/ranks=999/run=0"; return r }(),
+	}
+	for _, ref := range bad {
+		if _, err := ResolvePoint(ref); err == nil {
+			t.Errorf("ResolvePoint(%+v) succeeded, want error", ref)
+		}
+	}
+	if _, err := ResolvePoint(good); err != nil {
+		t.Errorf("good ref failed: %v", err)
+	}
+}
+
+// TestManifestConfigGobRoundTrip sends a point config through gob as an
+// interface value — exactly what fabric lease messages do — and asserts
+// the canonical JSON (hence the cache key) survives. Without the
+// gob.Register in registry.go the encode fails outright.
+func TestManifestConfigGobRoundTrip(t *testing.T) {
+	exp := Fig05Experiment(Quick)
+	type envelope struct{ Config any }
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{Config: exp.Points[0].Config}); err != nil {
+		t.Fatalf("gob encode of manifest config: %v", err)
+	}
+	var out envelope
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("gob decode of manifest config: %v", err)
+	}
+	want, err := json.Marshal(exp.Points[0].Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(out.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("config JSON changed across gob transport:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestBuildPlanMatchesSweepEnumeration asserts the plan dedupes aliased
+// figures and its flat refs line up index-for-index with its points.
+func TestBuildPlanMatchesSweepEnumeration(t *testing.T) {
+	plan, err := BuildPlan([]string{"1", "2", "5", "6"}, Quick, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Entries) != 2 {
+		t.Fatalf("plan has %d entries, want 2 (1+2 and 5+6 dedupe)", len(plan.Entries))
+	}
+	if len(plan.Points) != len(plan.Refs) {
+		t.Fatalf("%d points vs %d refs", len(plan.Points), len(plan.Refs))
+	}
+	for i, ref := range plan.Refs {
+		if ref.Key != plan.Points[i].Key {
+			t.Fatalf("ref %d key %q != point key %q", i, ref.Key, plan.Points[i].Key)
+		}
+	}
+	all, err := BuildPlan(nil, Quick, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Entries) != len(FigOrder) {
+		t.Fatalf("nil ids → %d entries, want every experiment (%d)", len(all.Entries), len(FigOrder))
+	}
+	if _, err := BuildPlan([]string{"17"}, Quick, 0); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package fabric
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"iobehind/internal/runner"
+)
+
+func newCacheServer(t *testing.T) (*runner.Cache, *httptest.Server) {
+	t.Helper()
+	c, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(CacheHandler(c))
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+// TestCacheServerRoundTrip PUTs through one RemoteCache and GETs through
+// another — the shape of two workers sharing one server.
+func TestCacheServerRoundTrip(t *testing.T) {
+	disk, srv := newCacheServer(t)
+	key := strings.Repeat("ab", 32)
+	data := []byte("shared-entry-bytes")
+
+	w1 := NewRemoteCache(srv.URL)
+	if ok := w1.PutBytes(key, data); !ok {
+		t.Fatal("put failed")
+	}
+	w2 := NewRemoteCache(srv.URL)
+	got, ok := w2.GetBytes(key)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("second client read %q, %v", got, ok)
+	}
+	// The server's disk cache holds the same bytes: a later local run
+	// pointed at the same directory hits without HTTP.
+	if onDisk, ok := disk.GetBytes(key); !ok || !bytes.Equal(onDisk, data) {
+		t.Fatal("entry not in the backing disk cache")
+	}
+	st := w2.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("client stats %+v, want 1 hit", st)
+	}
+	if _, ok := w2.GetBytes(strings.Repeat("00", 32)); ok {
+		t.Fatal("absent key hit")
+	}
+	if st := w2.Stats(); st.Misses != 1 {
+		t.Fatalf("stats after miss: %+v", st)
+	}
+}
+
+// TestCacheServerRejects pins the input validation.
+func TestCacheServerRejects(t *testing.T) {
+	_, srv := newCacheServer(t)
+	for _, path := range []string{
+		"/cache/short",
+		"/cache/" + strings.Repeat("ZZ", 32), // uppercase hex
+		"/cache/" + strings.Repeat("ab", 33), // wrong length
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// Empty body PUT is rejected.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/cache/"+strings.Repeat("ab", 32), bytes.NewReader(nil))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty PUT: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRemoteCacheDegradesToMiss points a client at a dead server and
+// asserts every operation degrades to a miss, never an error return.
+func TestRemoteCacheDegradesToMiss(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close() // dead on arrival
+	rc := NewRemoteCache(url)
+	if _, ok := rc.GetBytes(strings.Repeat("ab", 32)); ok {
+		t.Fatal("dead server produced a hit")
+	}
+	if ok := rc.PutBytes(strings.Repeat("ab", 32), []byte("x")); ok {
+		t.Fatal("dead server accepted a put")
+	}
+	st := rc.Stats()
+	if st.Errors == 0 {
+		t.Fatalf("stats %+v recorded no errors", st)
+	}
+}
+
+// TestTieredCacheFillsLocal computes the layering contract: a remote hit
+// fills the local tier byte-for-byte, so the next probe stays on disk.
+func TestTieredCacheFillsLocal(t *testing.T) {
+	_, srv := newCacheServer(t)
+	remote := NewRemoteCache(srv.URL)
+	local, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := NewTieredCache(local, remote)
+
+	type payload struct{ N int }
+	key := strings.Repeat("cd", 32)
+	remote.Put(key, &payload{N: 7})
+	remoteBytes, ok := remote.GetBytes(key)
+	if !ok {
+		t.Fatal("seeded entry missing")
+	}
+
+	alloc := func() any { return new(payload) }
+	v, ok := tier.Get(key, alloc)
+	if !ok || v.(*payload).N != 7 {
+		t.Fatalf("tier miss or wrong value: %+v, %v", v, ok)
+	}
+	localBytes, ok := local.GetBytes(key)
+	if !ok {
+		t.Fatal("remote hit did not fill local tier")
+	}
+	if !bytes.Equal(localBytes, remoteBytes) {
+		t.Fatal("local fill is not byte-identical to the remote entry")
+	}
+	// Second probe must be served locally: kill the server and re-get.
+	srv.Close()
+	v2, ok := tier.Get(key, alloc)
+	if !ok || v2.(*payload).N != 7 {
+		t.Fatal("second probe did not survive server death (local tier not used)")
+	}
+	// Put writes through to both tiers.
+	local2, _ := runner.OpenCache(t.TempDir())
+	_, srv2 := newCacheServer(t)
+	remote2 := NewRemoteCache(srv2.URL)
+	tier2 := NewTieredCache(local2, remote2)
+	key2 := strings.Repeat("ef", 32)
+	tier2.Put(key2, &payload{N: 9})
+	if _, ok := local2.GetBytes(key2); !ok {
+		t.Fatal("put skipped local tier")
+	}
+	if _, ok := remote2.GetBytes(key2); !ok {
+		t.Fatal("put skipped remote tier")
+	}
+}

@@ -1,0 +1,58 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeMsg fuzzes the fabric's single decode path, mirroring
+// tmio's FuzzDecodeStreamRecord: whatever the bytes, DecodeMsg must not
+// panic, and on error it must return exactly the zero message. Valid
+// messages must re-encode and re-decode to the same kind (gob is not
+// canonical, so byte-stability is asserted elsewhere, not here).
+func FuzzDecodeMsg(f *testing.F) {
+	seed := []Msg{
+		{Kind: KindHello, Role: "worker", ID: "w0"},
+		{Kind: KindGet},
+		{Kind: KindIdle, RetryMS: 250},
+		{Kind: KindResult, Seq: 3, Index: 1, CacheKey: "abc", Bytes: []byte{9, 9}},
+		{Kind: KindAck, Seq: 3, Dup: true},
+		{Kind: KindSweepDone, Stats: &SweepStats{Points: 4}},
+	}
+	for _, m := range seed {
+		var buf bytes.Buffer
+		if err := WriteMsg(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes()[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := DecodeMsg(payload)
+		if err != nil {
+			if !isZeroMsg(m) {
+				t.Fatalf("error %v but non-zero message %+v", err, m)
+			}
+			return
+		}
+		if m.V < 1 || m.V > ProtocolVersion {
+			t.Fatalf("accepted message with version %d", m.V)
+		}
+		if m.Kind < KindHello || m.Kind > KindSweepDone {
+			t.Fatalf("accepted message with kind %d", m.Kind)
+		}
+		var buf bytes.Buffer
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatalf("re-encode of accepted message failed: %v", err)
+		}
+		m2, err := ReadMsg(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v", err)
+		}
+		if m2.Kind != m.Kind || m2.Seq != m.Seq || m2.Index != m.Index || m2.CacheKey != m.CacheKey {
+			t.Fatalf("re-round-trip changed identity: %+v vs %+v", m2, m)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package fabric
+
+import (
+	"context"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"iobehind/internal/experiments"
+	"iobehind/internal/runner"
+)
+
+// TestDistributedMatchesSerial is the fabric's headline invariant: a
+// built-in figure swept through a coordinator and two real workers — one
+// of which is killed mid-sweep so its leases re-dispatch — renders
+// byte-identically to the historical serial run. It also proves the
+// cache sharing is real: a point computed by one worker is a remote
+// cache hit for the other and for a subsequent local run pointed at the
+// same cache server, asserted through CacheStats.
+func TestDistributedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed integration test")
+	}
+	plan, err := experiments.BuildPlan([]string{"5"}, experiments.Quick, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := plan.Entries[0].Exp
+	manifest, err := ManifestFor(plan.Points, plan.Refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth: the serial, cache-less runner.
+	serialResults, err := runner.Serial().Run(context.Background(), plan.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialRender, err := exp.Assemble(serialResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabric: coordinator with journal + shared cache, served over HTTP
+	// for the workers' remote tier.
+	sharedCache, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCtx1, killWorker1 := context.WithCancel(context.Background())
+	defer killWorker1()
+	var killOnce sync.Once
+	co, err := NewCoordinator(Options{
+		Cache:        sharedCache,
+		LeaseTimeout: 2 * time.Second,
+		IdleRetry:    10 * time.Millisecond,
+		Logf:         t.Logf,
+		// Kill worker 1 as soon as any result lands: whatever it holds
+		// at that moment must be re-dispatched and the sweep must still
+		// finish correctly on worker 2 alone.
+		OnAccept: func(worker string, index int, pointKey string) {
+			killOnce.Do(func() {
+				t.Logf("killing worker w1 after first acceptance (%s by %s)", pointKey, worker)
+				killWorker1()
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Start(ln)
+	defer co.Close()
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+
+	workerCtx2, stopWorker2 := context.WithCancel(context.Background())
+	defer stopWorker2()
+	local1, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local2, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote2 := NewRemoteCache(srv.URL)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		RunWorker(workerCtx1, WorkerOptions{
+			Coordinator: co.Addr(), ID: "w1", Executors: 2,
+			LocalCache: local1, RemoteCache: NewRemoteCache(srv.URL),
+			Logf: t.Logf, MaxBackoff: 100 * time.Millisecond,
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		RunWorker(workerCtx2, WorkerOptions{
+			Coordinator: co.Addr(), ID: "w2", Executors: 2,
+			LocalCache: local2, RemoteCache: remote2,
+			Logf: t.Logf, MaxBackoff: 100 * time.Millisecond,
+		})
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sub, err := Submit(ctx, co.Addr(), "integration-test", manifest, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopWorker2()
+	wg.Wait()
+
+	// Byte-identical at the entry level...
+	for i, res := range serialResults {
+		if res.Err != nil {
+			t.Fatalf("serial point %s failed: %v", res.Key, res.Err)
+		}
+		want, err := runner.EncodeEntry(res.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sub.Bytes[i]) != string(want) {
+			t.Fatalf("point %s: distributed entry bytes differ from serial", res.Key)
+		}
+	}
+	// ...and at the rendered-figure level.
+	fabricResults, err := DecodeResults(plan.Points, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabricRender, err := exp.Assemble(fabricResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fabricRender.Render(), serialRender.Render(); got != want {
+		t.Fatalf("distributed render differs from serial:\n--- distributed ---\n%s\n--- serial ---\n%s", got, want)
+	}
+	if sub.Stats.Computed+sub.Stats.JournalHits+sub.Stats.CacheHits != len(plan.Points) {
+		t.Fatalf("stats %+v do not account for all %d points", sub.Stats, len(plan.Points))
+	}
+
+	// Cache sharing, part 1: every point a worker computed was PUT to
+	// the shared server, so a fresh remote client hits all of them.
+	probe := NewRemoteCache(srv.URL)
+	for _, mp := range manifest {
+		if _, ok := probe.GetBytes(mp.CacheKey); !ok {
+			t.Fatalf("point %s not in the shared cache after the sweep", mp.Ref.Key)
+		}
+	}
+	st := probe.Stats()
+	if st.Hits != len(manifest) || st.Misses != 0 {
+		t.Fatalf("probe stats %+v, want %d hits", st, len(manifest))
+	}
+
+	// Cache sharing, part 2: a local run layered over the same server
+	// (iosweep -cache-server's configuration) recomputes nothing.
+	localDisk, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := NewTieredCache(localDisk, NewRemoteCache(srv.URL))
+	localRun := runner.New(runner.Options{Workers: 2, Cache: tier})
+	// Re-enumerate so no state leaks from the earlier plan.
+	plan2, err := experiments.BuildPlan([]string{"5"}, experiments.Quick, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localResults, err := localRun.Run(context.Background(), plan2.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runner.CachedCount(localResults); got != len(plan2.Points) {
+		t.Fatalf("local run over the shared cache computed %d points, want 0 (all %d cached)",
+			len(plan2.Points)-got, len(plan2.Points))
+	}
+	localRender, err := plan2.Entries[0].Exp.Assemble(localResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if localRender.Render() != serialRender.Render() {
+		t.Fatal("cache-served local run renders differently from serial")
+	}
+
+	// The kill was real: worker 1 must have died before finishing the
+	// sweep alone (otherwise the straggler path was not exercised).
+	if workerCtx1.Err() == nil {
+		t.Fatal("worker 1 was never killed")
+	}
+	_ = workerCtx2
+}

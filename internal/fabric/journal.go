@@ -1,0 +1,140 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalEntry is one accepted result: the point's content address, the
+// SHA-256 of the accepted entry bytes (so resume can refuse a cache file
+// that does not match what was accepted), and the human point key for
+// logs. Error completions are deliberately not journaled — a resumed
+// sweep retries them.
+type journalEntry struct {
+	CacheKey string `json:"k"`
+	SHA      string `json:"sha"`
+	Key      string `json:"key"`
+}
+
+// decodeJournalLine parses one journal line — the journal's single
+// decode path. Zero entry on error; blank lines are errors the loader
+// skips silently (a crash can tear the final line).
+func decodeJournalLine(line []byte) (journalEntry, error) {
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 {
+		return journalEntry{}, errors.New("fabric: empty journal line")
+	}
+	var e journalEntry
+	if err := json.Unmarshal(trimmed, &e); err != nil {
+		return journalEntry{}, fmt.Errorf("fabric: decode journal line: %w", err)
+	}
+	if e.CacheKey == "" || e.SHA == "" {
+		return journalEntry{}, errors.New("fabric: journal line missing cache key or sha")
+	}
+	return e, nil
+}
+
+// journal is the coordinator's append-only acceptance log. Appends are
+// synchronous JSON lines; a coordinator killed mid-write tears at most
+// the final line, which the loader skips. The journal records
+// *acceptance*, not results: bytes live in the content-addressed cache,
+// the journal says which cache entries a previous incarnation verified.
+type journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	known map[string]string // cache key -> accepted sha
+}
+
+// openJournal opens (creating if needed) the journal at path and loads
+// every well-formed line. path == "" yields a memory-only journal that
+// still deduplicates within one run but cannot resume.
+func openJournal(path string) (*journal, error) {
+	j := &journal{known: make(map[string]string)}
+	if path == "" {
+		return j, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: open journal: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		e, err := decodeJournalLine(sc.Bytes())
+		if err != nil {
+			continue // blank, torn, or foreign line: ignore, never trust
+		}
+		j.known[e.CacheKey] = e.SHA
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fabric: read journal: %w", err)
+	}
+	// A crash can leave the file without a final newline; terminate the
+	// torn tail so the next append starts a fresh line instead of gluing
+	// onto (and losing with) the torn one.
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		tail := make([]byte, 1)
+		if _, err := f.ReadAt(tail, st.Size()-1); err == nil && tail[0] != '\n' {
+			f.Write([]byte("\n"))
+		}
+	}
+	j.f = f
+	return j, nil
+}
+
+// lookup returns the accepted sha for a cache key, if any.
+func (j *journal) lookup(cacheKey string) (string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sha, ok := j.known[cacheKey]
+	return sha, ok
+}
+
+// append records an acceptance. Write failures are returned but leave
+// the in-memory state updated: the sweep proceeds, only resume coverage
+// degrades.
+func (j *journal) append(cacheKey, pointKey string, data []byte) error {
+	sum := sha256.Sum256(data)
+	sha := hex.EncodeToString(sum[:])
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if prev, ok := j.known[cacheKey]; ok && prev == sha {
+		return nil // idempotent re-acceptance (duplicate completion)
+	}
+	j.known[cacheKey] = sha
+	if j.f == nil {
+		return nil
+	}
+	line, err := json.Marshal(journalEntry{CacheKey: cacheKey, SHA: sha, Key: pointKey})
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("fabric: append journal: %w", err)
+	}
+	return nil
+}
+
+// close releases the journal file.
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}
+
+// entrySHA hashes entry bytes the way the journal does.
+func entrySHA(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,108 @@
+package fabric
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJournalRoundTrip appends acceptances, reopens, and asserts the
+// reload sees them — including idempotence of duplicate appends.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("result-bytes")
+	key := strings.Repeat("ab", 32)
+	if err := j.append(key, "fig05/quick/ranks=8/run=0", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(key, "fig05/quick/ranks=8/run=0", data); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(raw), "\n"); n != 1 {
+		t.Fatalf("duplicate append wrote %d lines, want 1:\n%s", n, raw)
+	}
+
+	j2, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	sha, ok := j2.lookup(key)
+	if !ok {
+		t.Fatal("reloaded journal lost the acceptance")
+	}
+	if sha != entrySHA(data) {
+		t.Fatalf("reloaded sha %s, want %s", sha, entrySHA(data))
+	}
+}
+
+// TestJournalSkipsTornLine plants a torn final line (the signature of a
+// coordinator killed mid-write) plus junk and asserts reload keeps the
+// good entries and drops the rest.
+func TestJournalSkipsTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	goodKey := strings.Repeat("cd", 32)
+	good := `{"k":"` + goodKey + `","sha":"` + entrySHA([]byte("x")) + `","key":"p0"}`
+	content := good + "\n" +
+		"\n" + // blank line
+		`{"k":"missing-sha"}` + "\n" + // incomplete entry
+		`{"k":"` + strings.Repeat("ef", 32) + `","sha":"torn` // torn mid-write
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if _, ok := j.lookup(goodKey); !ok {
+		t.Fatal("good line lost")
+	}
+	if _, ok := j.lookup("missing-sha"); ok {
+		t.Fatal("incomplete line trusted")
+	}
+	if _, ok := j.lookup(strings.Repeat("ef", 32)); ok {
+		t.Fatal("torn line trusted")
+	}
+	// Appending after a torn tail must still yield parseable lines.
+	newKey := strings.Repeat("01", 32)
+	if err := j.append(newKey, "p1", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	j2, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if _, ok := j2.lookup(newKey); !ok {
+		t.Fatal("append after torn tail lost")
+	}
+}
+
+// TestJournalMemoryOnly checks the path == "" mode used by tests and
+// journal-less coordinators.
+func TestJournalMemoryOnly(t *testing.T) {
+	j, err := openJournal("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if err := j.append("k", "p", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.lookup("k"); !ok {
+		t.Fatal("memory journal lost entry")
+	}
+}

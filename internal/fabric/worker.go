@@ -1,0 +1,294 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"iobehind/internal/experiments"
+	"iobehind/internal/runner"
+)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Coordinator is the fabric coordinator's TCP address.
+	Coordinator string
+	// ID names this worker in leases and logs. Default: local hostname
+	// substitute "worker".
+	ID string
+	// Executors is the number of concurrent point executors, each with
+	// its own coordinator connection. Values < 1 default to 1.
+	Executors int
+	// LocalCache, when non-nil, is the worker's disk tier: probed before
+	// the remote cache, filled byte-for-byte on remote hits and fresh
+	// computations.
+	LocalCache *runner.Cache
+	// RemoteCache, when non-nil, is the shared cache server tier.
+	RemoteCache *RemoteCache
+	// Logf receives progress lines. Nil discards them.
+	Logf func(format string, args ...any)
+	// DialTimeout bounds one connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// MaxBackoff caps the reconnect backoff. Default 5s.
+	MaxBackoff time.Duration
+}
+
+// RunWorker pulls leases from the coordinator and executes them until ctx
+// is cancelled. Each executor holds its own connection; a lost connection
+// is retried with jittered exponential backoff, and a result computed
+// while disconnected is resent after reconnect (the coordinator matches
+// it by content address, so it survives lease re-dispatch and even a
+// coordinator restart). Returns nil on cancellation.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	if opts.Coordinator == "" {
+		return fmt.Errorf("fabric: worker needs a coordinator address")
+	}
+	if opts.ID == "" {
+		opts.ID = "worker"
+	}
+	if opts.Executors < 1 {
+		opts.Executors = 1
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Executors; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := &executor{
+				opts: opts,
+				name: fmt.Sprintf("%s/%d", opts.ID, i),
+			}
+			e.run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	return nil
+}
+
+// executor is one pull loop with its own coordinator connection.
+type executor struct {
+	opts WorkerOptions
+	name string
+
+	conn     net.Conn
+	stopConn func() bool // context.AfterFunc cleanup for conn
+	backoff  time.Duration
+	pending  *Msg // computed result not yet acked by the coordinator
+}
+
+func (e *executor) logf(format string, args ...any) { e.opts.Logf(format, args...) }
+
+func (e *executor) run(ctx context.Context) {
+	defer e.dropConn()
+	for ctx.Err() == nil {
+		if e.conn == nil {
+			if !e.connect(ctx) {
+				continue
+			}
+		}
+		// Deliver a result stranded by a connection loss before asking
+		// for new work: the coordinator may have re-dispatched the
+		// lease, but first-byte-identical-result-wins makes the resend
+		// harmless at worst and a straggler win at best.
+		if e.pending != nil {
+			if !e.deliver(ctx, *e.pending) {
+				continue
+			}
+			e.pending = nil
+		}
+		if err := WriteMsg(e.conn, Msg{Kind: KindGet, Role: "worker", ID: e.name}); err != nil {
+			e.dropConn()
+			continue
+		}
+		m, err := ReadMsg(e.conn)
+		if err != nil {
+			e.dropConn()
+			continue
+		}
+		switch m.Kind {
+		case KindIdle:
+			retry := time.Duration(m.RetryMS) * time.Millisecond
+			if retry <= 0 {
+				retry = 200 * time.Millisecond
+			}
+			sleepCtx(ctx, jitter(retry))
+		case KindLease:
+			res := e.execute(ctx, m)
+			e.pending = &res
+			if e.deliver(ctx, res) {
+				e.pending = nil
+			}
+		default:
+			e.logf("fabric: worker=%s unexpected %s reply, reconnecting", e.name, m.Kind)
+			e.dropConn()
+		}
+	}
+}
+
+// connect dials and introduces the executor; false means backoff taken.
+func (e *executor) connect(ctx context.Context) bool {
+	d := net.Dialer{Timeout: e.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", e.opts.Coordinator)
+	if err != nil {
+		e.waitBackoff(ctx, err)
+		return false
+	}
+	if err := WriteMsg(conn, Msg{Kind: KindHello, Role: "worker", ID: e.name}); err != nil {
+		conn.Close()
+		e.waitBackoff(ctx, err)
+		return false
+	}
+	e.conn = conn
+	e.stopConn = context.AfterFunc(ctx, func() { conn.Close() })
+	e.backoff = 0
+	return true
+}
+
+func (e *executor) dropConn() {
+	if e.conn != nil {
+		if e.stopConn != nil {
+			e.stopConn()
+			e.stopConn = nil
+		}
+		e.conn.Close()
+		e.conn = nil
+	}
+}
+
+// waitBackoff sleeps the jittered exponential backoff after a failure.
+func (e *executor) waitBackoff(ctx context.Context, cause error) {
+	if e.backoff == 0 {
+		e.backoff = 100 * time.Millisecond
+	} else {
+		e.backoff *= 2
+		if e.backoff > e.opts.MaxBackoff {
+			e.backoff = e.opts.MaxBackoff
+		}
+	}
+	e.logf("fabric: worker=%s coordinator unreachable (%v), retrying in %s", e.name, cause, e.backoff)
+	sleepCtx(ctx, jitter(e.backoff))
+}
+
+// deliver sends one result and waits for the ack; false drops the
+// connection (the caller retries after reconnect via e.pending).
+func (e *executor) deliver(ctx context.Context, res Msg) bool {
+	if err := WriteMsg(e.conn, res); err != nil {
+		e.dropConn()
+		return false
+	}
+	ack, err := ReadMsg(e.conn)
+	if err != nil || ack.Kind != KindAck {
+		e.dropConn()
+		return false
+	}
+	if ack.Dup {
+		e.logf("fabric: worker=%s point=%s lost the race (duplicate)", e.name, res.CacheKey)
+	}
+	return true
+}
+
+// execute resolves and runs one leased point, returning the result
+// message to deliver. Every failure mode — unresolvable ref, cache-key
+// skew, point error, panic — becomes an Err result; the executor never
+// dies on a poisoned lease.
+func (e *executor) execute(ctx context.Context, lease Msg) Msg {
+	res := Msg{Kind: KindResult, Role: "worker", ID: e.name, Seq: lease.Seq, Index: lease.Index}
+	mp := lease.Point
+	if mp == nil {
+		res.Err = "lease carried no point"
+		return res
+	}
+	res.CacheKey = mp.CacheKey
+	p, err := experiments.ResolvePoint(mp.Ref)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	ckey, err := runner.CacheKey(p)
+	if err != nil {
+		res.Err = fmt.Sprintf("hash config: %v", err)
+		return res
+	}
+	if ckey != mp.CacheKey {
+		// Version skew: this binary enumerates a different point than
+		// the submitter hashed. Running it would poison the shared
+		// cache under the submitter's address — refuse instead.
+		res.Err = fmt.Sprintf("cache key skew: submitter %s, worker %s — mismatched binaries?", mp.CacheKey, ckey)
+		return res
+	}
+
+	// Cache tiers: local disk first, then the shared server, moving raw
+	// bytes so the content address is preserved exactly.
+	if e.opts.LocalCache != nil {
+		if data, ok := e.opts.LocalCache.GetBytes(ckey); ok {
+			res.Bytes, res.Cached = data, true
+			return res
+		}
+	}
+	if e.opts.RemoteCache != nil {
+		if data, ok := e.opts.RemoteCache.GetBytes(ckey); ok {
+			if e.opts.LocalCache != nil {
+				e.opts.LocalCache.PutBytes(ckey, data)
+			}
+			res.Bytes, res.Cached = data, true
+			return res
+		}
+	}
+
+	// Run through a single-worker runner for its panic isolation; no
+	// cache attached because the byte-level tiers above already cover
+	// it and keep the encoding canonical.
+	start := time.Now()
+	results, _ := runner.New(runner.Options{Workers: 1}).Run(ctx, []runner.Point{p})
+	r := results[0]
+	if r.Err != nil {
+		res.Err = r.Err.Error()
+		return res
+	}
+	data, err := runner.EncodeEntry(r.Value)
+	if err != nil {
+		res.Err = fmt.Sprintf("encode result: %v", err)
+		return res
+	}
+	res.Bytes = data
+	e.logf("fabric: worker=%s point=%s computed in %s (%d bytes)", e.name, p.Key, time.Since(start).Round(time.Millisecond), len(data))
+	if e.opts.LocalCache != nil {
+		e.opts.LocalCache.PutBytes(ckey, data)
+	}
+	if e.opts.RemoteCache != nil {
+		e.opts.RemoteCache.PutBytes(ckey, data)
+	}
+	return res
+}
+
+// sleepCtx sleeps d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// jitter spreads d over [d/2, d) so a fleet of workers losing the same
+// coordinator does not reconnect in lockstep. The wall clock is the
+// entropy source — fabric timing is allowed to be nondeterministic, it
+// can never reach a result.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(time.Now().UnixNano())%(d/2)
+}

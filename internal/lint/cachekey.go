@@ -23,18 +23,23 @@ import (
 // All three must be excluded explicitly with a `json:"-"` tag (stating
 // "this is runtime wiring, not identity"), as cluster.Config.Forecasts
 // does. Fields already tagged `json:"-"` are not descended into.
+//
+// The same contract guards fabric.ManifestPoint: its Config travels the
+// wire as the point's cache-key identity, so a config that cannot
+// marshal totally would silently change identity between the submitter
+// and a remote worker. Both composite literals root the walk.
 var cachekeyAnalyzer = &Analyzer{
 	Name: "cachekey",
-	Doc: "structs reachable from a runner.Point config must mark " +
-		"func/chan/unexported-interface fields json:\"-\" so JSON-based " +
-		"SHA-256 cache keys stay total and stable",
+	Doc: "structs reachable from a runner.Point or fabric.ManifestPoint " +
+		"config must mark func/chan/unexported-interface fields json:\"-\" " +
+		"so JSON-based SHA-256 cache keys stay total and stable",
 	Run: func(p *Package) []Diagnostic {
 		w := &cachekeyWalker{p: p, visited: make(map[types.Type]bool), reported: make(map[*types.Var]bool)}
 		for _, f := range p.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.CompositeLit:
-					if !isRunnerPoint(p.Info.Types[n].Type) {
+					if !isConfigCarrier(p.Info.Types[n].Type) {
 						return true
 					}
 					for _, elt := range n.Elts {
@@ -52,7 +57,7 @@ var cachekeyAnalyzer = &Analyzer{
 						if !ok || sel.Sel.Name != "Config" || i >= len(n.Rhs) {
 							continue
 						}
-						if seln := p.Info.Selections[sel]; seln != nil && isRunnerPoint(seln.Recv()) {
+						if seln := p.Info.Selections[sel]; seln != nil && isConfigCarrier(seln.Recv()) {
 							w.root(n.Rhs[i])
 						}
 					}
@@ -64,9 +69,10 @@ var cachekeyAnalyzer = &Analyzer{
 	},
 }
 
-// isRunnerPoint reports whether t is (a pointer to) the runner package's
-// Point struct.
-func isRunnerPoint(t types.Type) bool {
+// isConfigCarrier reports whether t is (a pointer to) a struct whose
+// Config field is a cache-key root: the runner package's Point or the
+// fabric package's ManifestPoint.
+func isConfigCarrier(t types.Type) bool {
 	if t == nil {
 		return false
 	}
@@ -78,7 +84,16 @@ func isRunnerPoint(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Point" && obj.Pkg() != nil && pathIs(obj.Pkg().Path(), "internal/runner")
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Name() {
+	case "Point":
+		return pathIs(obj.Pkg().Path(), "internal/runner")
+	case "ManifestPoint":
+		return pathIs(obj.Pkg().Path(), "internal/fabric")
+	}
+	return false
 }
 
 type cachekeyWalker struct {

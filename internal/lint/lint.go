@@ -17,7 +17,8 @@
 //   - globalrand — top-level math/rand(/v2) draws and unseeded rand.New
 //     are forbidden in the simulation packages; randomness must come from
 //     an explicitly seeded *rand.Rand threaded through config.
-//   - cachekey   — structs reachable from a runner.Point config must mark
+//   - cachekey   — structs reachable from a runner.Point config, or from
+//     a fabric.ManifestPoint config about to travel the wire, must mark
 //     func/chan/unexported-interface fields `json:"-"` so json.Marshal
 //     based SHA-256 cache keys stay total and stable.
 //   - floateq    — ==/!= between floating-point expressions is forbidden
@@ -84,6 +85,14 @@ func Analyzers() []*Analyzer {
 // simPackages are the packages whose behaviour must be a pure function of
 // config and seed: everything that executes inside (or enumerates) a
 // virtual-time simulation.
+//
+// internal/fabric is deliberately absent: the distributed-sweep fabric
+// legitimately reads the wall clock for lease deadlines, reconnect
+// backoff, and worker liveness — properties of real machines, not of the
+// simulated cluster — and none of them can influence a point's result.
+// Everything a fabric manifest can carry still falls under the cachekey
+// rule (see fabric.ManifestPoint in cachekey.go), which is what keeps
+// remote execution byte-identical to local.
 var simPackages = []string{
 	"des", "sched", "cluster", "adio", "pfs", "mpi", "mpiio",
 	"region", "metrics", "ftio", "workloads", "experiments", "faults",

@@ -96,22 +96,37 @@ func (h *Histogram) Mode() float64 {
 }
 
 // histogramWire mirrors Histogram with exported fields for serialization.
+// Buckets and BucketCounts are parallel slices sorted by bucket exponent
+// instead of a map: gob encodes maps in iteration order, which would make
+// the bytes of two encodes of the same histogram differ. Results embedding
+// a histogram (e.g. tmio.Report) are content-addressed and byte-compared
+// by the sweep fabric, so the wire form must be deterministic.
 type histogramWire struct {
-	Counts map[int]int
-	Total  int
-	Sum    float64
-	Min    float64
-	Max    float64
+	Buckets      []int
+	BucketCounts []int
+	Total        int
+	Sum          float64
+	Min          float64
+	Max          float64
 }
 
 // MarshalBinary encodes the histogram for gob/binary transport. Histogram
 // fields are unexported, so results embedding one (e.g. tmio.Report) need
-// this to survive a cache round-trip.
+// this to survive a cache round-trip. The encoding is deterministic: the
+// same histogram always yields the same bytes.
 func (h Histogram) MarshalBinary() ([]byte, error) {
+	w := histogramWire{Total: h.total, Sum: h.sum, Min: h.min, Max: h.max}
+	w.Buckets = make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		w.Buckets = append(w.Buckets, k)
+	}
+	sort.Ints(w.Buckets)
+	w.BucketCounts = make([]int, len(w.Buckets))
+	for i, k := range w.Buckets {
+		w.BucketCounts[i] = h.counts[k]
+	}
 	var buf bytes.Buffer
-	err := gob.NewEncoder(&buf).Encode(histogramWire{
-		Counts: h.counts, Total: h.total, Sum: h.sum, Min: h.min, Max: h.max,
-	})
+	err := gob.NewEncoder(&buf).Encode(w)
 	return buf.Bytes(), err
 }
 
@@ -121,7 +136,18 @@ func (h *Histogram) UnmarshalBinary(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return err
 	}
-	h.counts, h.total, h.sum, h.min, h.max = w.Counts, w.Total, w.Sum, w.Min, w.Max
+	if len(w.Buckets) != len(w.BucketCounts) {
+		return fmt.Errorf("metrics: histogram wire form has %d buckets but %d counts",
+			len(w.Buckets), len(w.BucketCounts))
+	}
+	var counts map[int]int
+	if w.Buckets != nil {
+		counts = make(map[int]int, len(w.Buckets))
+		for i, k := range w.Buckets {
+			counts[k] = w.BucketCounts[i]
+		}
+	}
+	h.counts, h.total, h.sum, h.min, h.max = counts, w.Total, w.Sum, w.Min, w.Max
 	return nil
 }
 

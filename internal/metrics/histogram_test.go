@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
@@ -101,5 +102,29 @@ func TestHistogramRender(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], strings.Repeat("#", 20)) {
 		t.Fatalf("dominant bucket bar:\n%s", out)
+	}
+}
+
+// TestHistogramBinaryDeterministic asserts repeated encodes of the same
+// histogram produce identical bytes. Results embedding histograms are
+// content-addressed (and duplicate completions byte-compared) by the
+// sweep fabric, so the wire form must not inherit map iteration order.
+func TestHistogramBinaryDeterministic(t *testing.T) {
+	var h Histogram
+	for i := 1; i < 400; i++ {
+		h.Observe(float64(i) * 1.37)
+	}
+	first, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		again, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encode %d differs from the first encode", i)
+		}
 	}
 }

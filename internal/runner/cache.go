@@ -19,7 +19,26 @@ import (
 // v2: adio accounting fixes (storm-queue time folded into the first
 // segment, burst-buffered stats aligned with the direct path) changed
 // report contents for unchanged configs.
-const cacheVersion = "iobehind-runner-v2"
+// v3: metrics.Histogram switched to a deterministic (sorted-bucket) wire
+// encoding so entry bytes are content-addressable; old entries encode
+// the same values differently and must never be compared byte-wise.
+const cacheVersion = "iobehind-runner-v3"
+
+// PointCache is the memoization surface a Runner probes before running a
+// point and fills after. *Cache is the local-disk implementation; the
+// fabric adds an HTTP-backed remote cache and a local-under-remote tier
+// that satisfy the same contract. Implementations must be safe for
+// concurrent use and must treat every failure as a miss — a cache can
+// only ever cost a recomputation, never change a result.
+type PointCache interface {
+	// Get loads the entry for key into a fresh value from alloc,
+	// reporting whether the load succeeded.
+	Get(key string, alloc func() any) (any, bool)
+	// Put stores v under key. Failures are absorbed (recorded in Stats).
+	Put(key string, v any)
+	// Stats returns a point-in-time counter snapshot.
+	Stats() CacheStats
+}
 
 // Cache memoizes completed sweep points on disk. Entries are gob files
 // named by a SHA-256 over (cache version, point key, canonical JSON of
@@ -43,21 +62,35 @@ type Cache struct {
 	errs   int
 }
 
+// Cache implements PointCache.
+var _ PointCache = (*Cache)(nil)
+
 // CacheStats is a point-in-time counter snapshot.
 type CacheStats struct {
-	Hits   int // results served from disk
+	Hits   int // results served from the cache
 	Misses int // lookups that fell through to a run
 	Writes int // entries stored
 	Errors int // read/write/decode failures (treated as misses)
 }
 
-// OpenCache opens (creating if needed) a cache rooted at dir.
+// OpenCache opens (creating if needed) a cache rooted at dir. Stale
+// temp files left behind by a crash between os.CreateTemp and rename —
+// in-process failures are cleaned up by put, a killed process's are not —
+// are swept here, so cache directories do not accumulate orphans across
+// worker or coordinator restarts. Removing another live writer's temp
+// file is benign: its rename fails and is absorbed as a cache-write
+// error, costing only a recomputation.
 func OpenCache(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("runner: empty cache dir")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: open cache: %w", err)
+	}
+	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp-*")); err == nil {
+		for _, path := range stale {
+			os.Remove(path)
+		}
 	}
 	return &Cache{dir: dir}, nil
 }
@@ -85,20 +118,93 @@ func CacheKey(p Point) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// ValidCacheKey reports whether key has the exact shape CacheKey
+// produces: 64 lowercase hex characters. The fabric's cache server uses
+// it to reject anything that could escape the cache directory.
+func ValidCacheKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeEntry serializes a point result into the cache's entry format —
+// the exact bytes a *Cache stores on disk and the fabric moves over the
+// wire. The encoding is deterministic for a given value (result structs
+// contain no bare maps; see metrics.Histogram's sorted wire form), which
+// is what makes entries content-addressable and duplicate completions
+// byte-comparable.
+func EncodeEntry(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEntry decodes entry bytes into a fresh value from alloc.
+func DecodeEntry(data []byte, alloc func() any) (any, error) {
+	into := alloc()
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(into); err != nil {
+		return nil, err
+	}
+	return into, nil
+}
+
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".gob")
 }
 
-// get loads the entry for key into a fresh value from alloc. Any failure
-// (absent, unreadable, undecodable) is a miss.
-func (c *Cache) get(key string, alloc func() any) (any, bool) {
+// GetBytes loads the raw entry bytes for key; absence or a read error is
+// a miss. No decode happens here — callers moving entries between caches
+// (the fabric's cache server) forward the bytes untouched.
+func (c *Cache) GetBytes(key string) ([]byte, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		c.count(func() { c.misses++ })
 		return nil, false
 	}
-	into := alloc()
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(into); err != nil {
+	c.count(func() { c.hits++ })
+	return data, true
+}
+
+// PutBytes stores raw entry bytes under key, atomically (temp file +
+// rename), reporting success. Failures are recorded in the stats but
+// otherwise absorbed: a cache write error only costs a future
+// recomputation.
+func (c *Cache) PutBytes(key string, data []byte) bool {
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		c.count(func() { c.errs++ })
+		return false
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), c.path(key)) != nil {
+		os.Remove(tmp.Name())
+		c.count(func() { c.errs++ })
+		return false
+	}
+	c.count(func() { c.writes++ })
+	return true
+}
+
+// Get loads the entry for key into a fresh value from alloc. Any failure
+// (absent, unreadable, undecodable) is a miss.
+func (c *Cache) Get(key string, alloc func() any) (any, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.count(func() { c.misses++ })
+		return nil, false
+	}
+	into, err := DecodeEntry(data, alloc)
+	if err != nil {
 		c.count(func() { c.misses++; c.errs++ })
 		return nil, false
 	}
@@ -106,28 +212,14 @@ func (c *Cache) get(key string, alloc func() any) (any, bool) {
 	return into, true
 }
 
-// put stores v under key, atomically (temp file + rename). Failures are
-// recorded in the stats but otherwise ignored: a cache write error only
-// costs a future recomputation.
-func (c *Cache) put(key string, v any) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		c.count(func() { c.errs++ })
-		return
-	}
-	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+// Put stores v under key via EncodeEntry + PutBytes.
+func (c *Cache) Put(key string, v any) {
+	data, err := EncodeEntry(v)
 	if err != nil {
 		c.count(func() { c.errs++ })
 		return
 	}
-	_, werr := tmp.Write(buf.Bytes())
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil || os.Rename(tmp.Name(), c.path(key)) != nil {
-		os.Remove(tmp.Name())
-		c.count(func() { c.errs++ })
-		return
-	}
-	c.count(func() { c.writes++ })
+	c.PutBytes(key, data)
 }
 
 func (c *Cache) count(f func()) {

@@ -71,15 +71,18 @@ func (e *PanicError) Error() string {
 type Options struct {
 	// Workers is the pool size. Values < 1 default to GOMAXPROCS.
 	Workers int
-	// Cache, when non-nil, memoizes completed points on disk.
-	Cache *Cache
+	// Cache, when non-nil, memoizes completed points: the local disk
+	// *Cache, the fabric's HTTP-backed remote cache, or a tier of both.
+	// It must be nil (not a typed-nil pointer in an interface) to
+	// disable caching.
+	Cache PointCache
 }
 
 // Runner executes sweeps. A Runner is safe for concurrent use; each Run
 // call gets its own worker pool.
 type Runner struct {
 	workers int
-	cache   *Cache
+	cache   PointCache
 }
 
 // New builds a runner from opts.
@@ -99,7 +102,7 @@ func Serial() *Runner { return New(Options{Workers: 1}) }
 func (r *Runner) Workers() int { return r.workers }
 
 // Cache returns the attached cache (nil when uncached).
-func (r *Runner) Cache() *Cache { return r.cache }
+func (r *Runner) Cache() PointCache { return r.cache }
 
 // Run executes all points and returns one Result per point, in input
 // order. Point failures (errors and panics) are reported per Result, not
@@ -162,7 +165,7 @@ func (r *Runner) runPoint(ctx context.Context, p Point) (res Result) {
 			res.Err = fmt.Errorf("runner: hash config of %s: %w", p.Key, err)
 			return res
 		}
-		if v, ok := r.cache.get(ckey, p.New); ok {
+		if v, ok := r.cache.Get(ckey, p.New); ok {
 			res.Value, res.Cached = v, true
 			return res
 		}
@@ -183,7 +186,7 @@ func (r *Runner) runPoint(ctx context.Context, p Point) (res Result) {
 	}
 	res.Value = v
 	if r.cache != nil && ckey != "" {
-		r.cache.put(ckey, v)
+		r.cache.Put(ckey, v)
 	}
 	return res
 }
