@@ -5,18 +5,27 @@
 // Usage:
 //
 //	go run ./cmd/iolint ./...
-//	go run ./cmd/iolint ./internal/... ./cmd/...
+//	go run ./cmd/iolint -json ./internal/... ./cmd/...
+//	go run ./cmd/iolint -why 'tmio.(*TCPSink).Emit' ./...
 //	go run ./cmd/iolint -list
 //
 // Patterns default to ./internal/... ./cmd/... . Findings print as
-// "file:line:col: [rule] message" with paths relative to the module root.
-// Suppress an intentional finding with a comment on the offending line or
-// the line above it:
+// "file:line:col: [rule] message" with paths relative to the module
+// root; reachability findings carry the full call chain from a
+// simulation entry point to the sink. With -json the findings print as a
+// JSON array with stable field names (file, line, col, rule, message,
+// chain). -why <symbol> explains why a function is (or is not)
+// considered sim-reachable, printing the call chain that taints it.
+//
+// Suppress an intentional finding with a comment on the offending line,
+// the line above it, or the line above the statement containing it:
 //
 //	//iolint:ignore <rule> <reason>
 //
 // The reason is mandatory; malformed suppressions are themselves
-// reported. Only non-test files are analyzed.
+// reported. Only non-test files are analyzed. A timing line prints to
+// stderr after every run — the whole-module analysis is budgeted to stay
+// under 10s (make lint enforces the habit of watching it).
 package main
 
 import (
@@ -25,14 +34,21 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"iobehind/internal/lint"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "print findings as a JSON array (stable field names, sorted)")
+	why := flag.String("why", "", "explain why `symbol` is sim-reachable (e.g. 'tmio.(*TCPSink).Emit') and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: iolint [-list] [patterns...]\n\n"+
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: iolint [-list] [-json] [-why symbol] [patterns...]\n\n"+
 			"Patterns are package directories or ./... globs relative to the module\n"+
 			"root (default: ./internal/... ./cmd/...).\n\n")
 		flag.PrintDefaults()
@@ -43,31 +59,85 @@ func main() {
 		for _, a := range lint.Analyzers() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	root, err := moduleRoot()
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./internal/...", "./cmd/..."}
 	}
+	t0 := time.Now()
 	pkgs, err := lint.Load(root, patterns)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	diags := lint.RunAll(pkgs)
-	for _, d := range diags {
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+	tLoad := time.Since(t0)
+	t1 := time.Now()
+	prog := lint.NewProgram(pkgs)
+	tGraph := time.Since(t1)
+
+	if *why != "" {
+		explain(prog, *why)
+		return 0
+	}
+
+	t2 := time.Now()
+	diags := prog.Diagnostics()
+	tRules := time.Since(t2)
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
 	}
+	if *asJSON {
+		out, err := lint.FormatJSON(diags)
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	nodes, edges := prog.Stats()
+	fmt.Fprintf(os.Stderr, "iolint: %d packages, call graph %d nodes / %d edges; load %.2fs, graph %.2fs, rules %.2fs (budget 10s)\n",
+		len(pkgs), nodes, edges, tLoad.Seconds(), tGraph.Seconds(), tRules.Seconds())
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "iolint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// explain prints every function matching query and, for sim-reachable
+// ones, the call chain from a simulation entry point.
+func explain(prog *lint.Program, query string) {
+	results := prog.Why(query)
+	if len(results) == 0 {
+		fmt.Printf("%s: no function with that symbol in the loaded packages\n", query)
+		fmt.Println("(symbols look like 'pfs.recompute', 'des.(*Engine).Run', or a full-path suffix)")
+		return
+	}
+	for _, r := range results {
+		switch {
+		case r.Entry:
+			fmt.Printf("%s: ENTRY POINT — declared in simulation package %s;\n"+
+				"  every function it can call, through any number of packages, is sim-reachable\n",
+				r.Display, r.Package)
+		case r.Reachable:
+			fmt.Printf("%s: sim-reachable via\n  %s\n", r.Display, strings.Join(r.Chain, " → "))
+		case r.Exempt:
+			fmt.Printf("%s: NOT sim-reachable — %s is an exempt package "+
+				"(runner/gateway/fabric/cmd run on real machines around the simulation)\n",
+				r.Display, r.Package)
+		default:
+			fmt.Printf("%s: NOT sim-reachable — no call path from any simulation entry point\n", r.Display)
+		}
 	}
 }
 
@@ -89,7 +159,7 @@ func moduleRoot() (string, error) {
 	}
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "iolint:", err)
-	os.Exit(1)
+	return 1
 }

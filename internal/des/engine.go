@@ -234,7 +234,9 @@ func (e *Engine) Run() error {
 
 // dispatch resumes p with token and blocks until p parks again or exits.
 func (e *Engine) dispatch(p *Proc, token uint64) {
+	//iolint:ignore goroutine coroutine handoff: dispatch is the scheduler's half of the context switch; the engine blocks until the resumed process parks, so execution stays strictly sequential
 	p.wake <- token
+	//iolint:ignore goroutine coroutine handoff: blocking until the process parks is what makes process execution atomic within one event
 	<-e.handoff
 }
 

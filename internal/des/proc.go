@@ -32,6 +32,7 @@ func (e *Engine) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 	e.nextID++
 	p := &Proc{e: e, name: name, id: e.nextID, wake: make(chan uint64)}
 	e.procs = append(e.procs, p)
+	//iolint:ignore goroutine coroutine handoff: the new goroutine blocks on wake immediately and only ever runs while the engine is parked, so exactly one goroutine is runnable at any instant
 	go p.run(fn)
 	p.waitSeq++
 	e.wakeAt(p, at, PrioNormal, p.waitSeq)
@@ -39,6 +40,7 @@ func (e *Engine) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 }
 
 func (p *Proc) run(fn func(p *Proc)) {
+	//iolint:ignore goroutine coroutine handoff: unbuffered wake/handoff channels are the context switch itself; the engine is parked whenever this runs
 	<-p.wake // first activation
 	defer func() {
 		if r := recover(); r != nil {
@@ -47,6 +49,7 @@ func (p *Proc) run(fn func(p *Proc)) {
 			}
 		}
 		p.finished = true
+		//iolint:ignore goroutine coroutine handoff: the exiting process hands control back to the parked engine; no two goroutines ever run concurrently
 		p.e.handoff <- struct{}{}
 	}()
 	fn(p)
@@ -68,7 +71,9 @@ func (p *Proc) Now() Time { return p.e.now }
 // the token it carried. If the engine is shutting down, park unwinds the
 // goroutine by panicking with the kill sentinel.
 func (p *Proc) park() uint64 {
+	//iolint:ignore goroutine coroutine handoff: park/wake is the deterministic context switch — the engine resumes exactly one process per event, in heap order
 	p.e.handoff <- struct{}{}
+	//iolint:ignore goroutine coroutine handoff: the process sleeps here until the engine's single dispatch resumes it with a token
 	token := <-p.wake
 	if token == killToken {
 		panic(errKilled{})

@@ -162,7 +162,9 @@ func (c *Coordinator) Close() {
 		c.ln.Close()
 	}
 	c.wg.Wait()
-	c.jr.close()
+	if err := c.jr.close(); err != nil {
+		c.logf("fabric: %v", err)
+	}
 }
 
 func (c *Coordinator) acceptLoop() {

@@ -74,6 +74,7 @@ func openJournal(path string) (*journal, error) {
 		j.known[e.CacheKey] = e.SHA
 	}
 	if err := sc.Err(); err != nil {
+		//iolint:ignore errdrop open failed before any append; nothing was accepted through this handle, so a close error cannot lose journaled acceptances
 		f.Close()
 		return nil, fmt.Errorf("fabric: read journal: %w", err)
 	}
@@ -123,14 +124,21 @@ func (j *journal) append(cacheKey, pointKey string, data []byte) error {
 	return nil
 }
 
-// close releases the journal file.
-func (j *journal) close() {
+// close releases the journal file. The Close error is reported: an
+// acceptance written into the OS but failing to close may not be
+// durable, and resume silently loses coverage if that is swallowed.
+func (j *journal) close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.f != nil {
-		j.f.Close()
-		j.f = nil
+	if j.f == nil {
+		return nil
 	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("fabric: close journal: %w", err)
+	}
+	return nil
 }
 
 // entrySHA hashes entry bytes the way the journal does.

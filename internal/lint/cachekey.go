@@ -33,7 +33,7 @@ var cachekeyAnalyzer = &Analyzer{
 	Doc: "structs reachable from a runner.Point or fabric.ManifestPoint " +
 		"config must mark func/chan/unexported-interface fields json:\"-\" " +
 		"so JSON-based SHA-256 cache keys stay total and stable",
-	Run: func(p *Package) []Diagnostic {
+	Run: func(prog *Program, p *Package) []Diagnostic {
 		w := &cachekeyWalker{p: p, visited: make(map[types.Type]bool), reported: make(map[*types.Var]bool)}
 		for _, f := range p.Files {
 			ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,577 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide call graph and the sim-reachability
+// relation the taint rules (walltime, globalrand, maporder, goroutine)
+// run on. The graph is intentionally conservative:
+//
+//   - static calls and method calls resolve through the type checker to
+//     their exact target;
+//   - a call through an interface method fans out to every declared
+//     method in the load with the same name whose receiver type
+//     implements that interface;
+//   - a call through a function value (variable, parameter, struct
+//     field) fans out to every function that escapes as a value
+//     anywhere in the load with an identical signature;
+//   - function-literal bodies are attributed to their lexically
+//     enclosing declared function, so a callback's body is reachable
+//     whenever its encloser is — no closure tracking needed;
+//   - package-level variable initializers form a synthetic "pkg.init"
+//     node, an entry point for every package a simulation package
+//     (transitively) imports, because init runs before any point does.
+//
+// Over-approximation only ever produces extra findings, never missed
+// ones, and the //iolint:ignore mechanism absorbs the rare false edge.
+
+// cgNode is one function in the call graph: a declared function or
+// method of a loaded package, a synthetic per-package init, or an
+// external function (stdlib or unloaded module package) that appears as
+// a call target but has no body here.
+type cgNode struct {
+	sym  string // unique key: types.Func.FullName() or path+".init"
+	disp string // short display form: "pfs.recompute", "des.(*Engine).Run"
+	pkg  string // declaring package import path ("" if unknown)
+	p    *Package
+	fn   *types.Func // nil for init and external nodes
+
+	bodies []ast.Node // FuncDecl bodies / var initializer expressions
+	edges  []cgEdge
+
+	// valueSigs are the signatures under which this function escapes as
+	// a value (taken by reference rather than called); dynamic calls
+	// resolve against them.
+	valueSigs []*types.Signature
+
+	entry     bool
+	reachable bool
+	via       *cgNode // BFS parent toward an entry point
+}
+
+// cgEdge is one call site.
+type cgEdge struct {
+	to   *cgNode
+	pos  token.Position
+	call *ast.CallExpr // the call expression for static calls, else nil
+}
+
+type ifaceCall struct {
+	from  *cgNode
+	iface *types.Interface
+	name  string
+	pos   token.Position
+}
+
+type dynCall struct {
+	from *cgNode
+	sig  *types.Signature
+	pos  token.Position
+}
+
+type methodDecl struct {
+	recv types.Type
+	node *cgNode
+}
+
+type graph struct {
+	nodes    map[string]*cgNode
+	declared map[*Package][]*cgNode
+	methods  map[string][]methodDecl // declared methods by name
+	ifaces   []ifaceCall
+	dyns     []dynCall
+	escaped  []*cgNode // nodes with valueSigs, in first-escape order
+	edgeN    int
+}
+
+// Program is the whole-program view RunAll and cmd/iolint analyze: the
+// loaded packages plus the call graph and sim-reachability over them.
+type Program struct {
+	Pkgs []*Package
+	g    *graph
+}
+
+// NewProgram builds the call graph over pkgs and computes which
+// functions are reachable from the simulation entry points.
+func NewProgram(pkgs []*Package) *Program {
+	g := &graph{
+		nodes:    make(map[string]*cgNode),
+		declared: make(map[*Package][]*cgNode),
+		methods:  make(map[string][]methodDecl),
+	}
+	for _, p := range pkgs {
+		g.register(p)
+	}
+	for _, p := range pkgs {
+		for _, n := range g.declared[p] {
+			g.scan(n)
+		}
+	}
+	g.resolve()
+	g.computeReach(pkgs)
+	return &Program{Pkgs: pkgs, g: g}
+}
+
+// Stats reports the graph size for the timing line.
+func (prog *Program) Stats() (nodes, edges int) {
+	return len(prog.g.nodes), prog.g.edgeN
+}
+
+// reachableDeclared returns p's declared functions that are reachable
+// from a simulation entry point and not in an exempt package, in
+// declaration order.
+func (prog *Program) reachableDeclared(p *Package) []*cgNode {
+	var out []*cgNode
+	for _, n := range prog.g.declared[p] {
+		if n.reachable && !isExemptPackage(n.pkg) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// exemptPackages are outside the taint rules' scope by design: they run
+// on real machines around the simulation, not inside it. The runner,
+// gateway, and fabric legitimately use wall clocks, goroutines, and
+// channels (worker pools, TCP ingest, lease deadlines); commands are
+// process entry points. None of them may influence a point's result —
+// the cachekey rule still polices everything they feed into a point's
+// identity.
+func isExemptPackage(path string) bool {
+	if path == "" {
+		return false
+	}
+	for _, rel := range []string{"internal/runner", "internal/gateway", "internal/fabric"} {
+		if pathIs(path, rel) {
+			return true
+		}
+	}
+	return pathIs(path, "cmd") || strings.Contains(path, "/cmd/")
+}
+
+// register creates nodes for p's declared functions, methods, and
+// package-level variable initializers.
+func (g *graph) register(p *Package) {
+	var initBodies []ast.Node
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				obj, _ := p.Info.Defs[d.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				if d.Recv == nil && d.Name.Name == "init" {
+					if d.Body != nil {
+						initBodies = append(initBodies, d.Body)
+					}
+					continue
+				}
+				n := g.ensure(obj)
+				n.p = p
+				n.pkg = p.Path
+				if d.Body != nil {
+					n.bodies = append(n.bodies, d.Body)
+				}
+				g.declared[p] = append(g.declared[p], n)
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					g.methods[obj.Name()] = append(g.methods[obj.Name()], methodDecl{recv: sig.Recv().Type(), node: n})
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						initBodies = append(initBodies, v)
+					}
+				}
+			}
+		}
+	}
+	if len(initBodies) > 0 {
+		n := g.ensureInit(p)
+		n.bodies = append(n.bodies, initBodies...)
+		g.declared[p] = append(g.declared[p], n)
+	}
+}
+
+// ensure returns (creating if needed) the node for fn.
+func (g *graph) ensure(fn *types.Func) *cgNode {
+	sym := fn.FullName()
+	if n, ok := g.nodes[sym]; ok {
+		return n
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	n := &cgNode{sym: sym, disp: dispName(fn), pkg: pkg, fn: fn}
+	g.nodes[sym] = n
+	return n
+}
+
+func (g *graph) ensureInit(p *Package) *cgNode {
+	sym := p.Path + ".init"
+	if n, ok := g.nodes[sym]; ok {
+		return n
+	}
+	n := &cgNode{sym: sym, disp: pkgBase(p.Path) + ".init", pkg: p.Path, p: p}
+	g.nodes[sym] = n
+	return n
+}
+
+// dispName renders the short human form of a function: the package's
+// last path element plus "(*Recv)." for methods.
+func dispName(fn *types.Func) string {
+	base := ""
+	if fn.Pkg() != nil {
+		base = pkgBase(fn.Pkg().Path()) + "."
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		star := ""
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+			star = "*"
+		}
+		name := "?"
+		if named, ok := rt.(*types.Named); ok {
+			name = named.Obj().Name()
+		}
+		return base + "(" + star + name + ")." + fn.Name()
+	}
+	return base + fn.Name()
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// scan walks one node's bodies, collecting static edges, interface and
+// dynamic call sites, and escaping function values.
+func (g *graph) scan(n *cgNode) {
+	p := n.p
+	for _, body := range n.bodies {
+		// Pre-pass: the expressions occupying call position, so a
+		// function named in call position is not also recorded as an
+		// escaping value.
+		funExpr := make(map[ast.Expr]bool)
+		ast.Inspect(body, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				funExpr[unparen(call.Fun)] = true
+			}
+			return true
+		})
+		skipSel := make(map[*ast.Ident]bool)
+		ast.Inspect(body, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.CallExpr:
+				g.scanCall(n, x)
+			case *ast.SelectorExpr:
+				skipSel[x.Sel] = true
+				if funExpr[x] {
+					return true
+				}
+				if fn, ok := p.Info.Uses[x.Sel].(*types.Func); ok {
+					g.escape(fn, p.Info.TypeOf(x))
+				}
+			case *ast.Ident:
+				if funExpr[ast.Expr(x)] || skipSel[x] {
+					return true
+				}
+				if fn, ok := p.Info.Uses[x].(*types.Func); ok {
+					g.escape(fn, p.Info.TypeOf(x))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// scanCall classifies one call expression into a static edge, an
+// interface dispatch site, or a dynamic (function-value) call.
+func (g *graph) scanCall(n *cgNode, call *ast.CallExpr) {
+	p := n.p
+	fun := unparen(call.Fun)
+	pos := p.Fset.Position(fun.Pos())
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := p.Info.Uses[f].(type) {
+		case *types.Func:
+			g.addEdge(n, g.ensure(obj), pos, call)
+		case *types.Var:
+			g.addDyn(n, p.Info.TypeOf(f), pos)
+		}
+	case *ast.SelectorExpr:
+		if sel := p.Info.Selections[f]; sel != nil {
+			switch sel.Kind() {
+			case types.MethodVal:
+				m, _ := sel.Obj().(*types.Func)
+				if m == nil {
+					return
+				}
+				if types.IsInterface(sel.Recv()) {
+					if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+						g.ifaces = append(g.ifaces, ifaceCall{from: n, iface: iface, name: m.Name(), pos: pos})
+					}
+					return
+				}
+				g.addEdge(n, g.ensure(m), pos, call)
+			case types.MethodExpr:
+				if m, ok := sel.Obj().(*types.Func); ok {
+					g.addEdge(n, g.ensure(m), pos, call)
+				}
+			case types.FieldVal:
+				g.addDyn(n, sel.Type(), pos)
+			}
+			return
+		}
+		// Qualified identifier: pkg.Fn, pkg.Var, or a type conversion.
+		switch obj := p.Info.Uses[f.Sel].(type) {
+		case *types.Func:
+			g.addEdge(n, g.ensure(obj), pos, call)
+		case *types.Var:
+			g.addDyn(n, p.Info.TypeOf(f), pos)
+		}
+	case *ast.FuncLit:
+		// Immediately invoked; its body is already attributed to n.
+	default:
+		// A call of a computed expression (call result, index, type
+		// assertion): dynamic if it is function-typed.
+		if t := p.Info.TypeOf(fun); t != nil {
+			if tv, ok := p.Info.Types[fun]; !ok || !tv.IsType() {
+				g.addDyn(n, t, pos)
+			}
+		}
+	}
+}
+
+func (g *graph) addEdge(from, to *cgNode, pos token.Position, call *ast.CallExpr) {
+	from.edges = append(from.edges, cgEdge{to: to, pos: pos, call: call})
+	g.edgeN++
+}
+
+func (g *graph) addDyn(from *cgNode, t types.Type, pos token.Position) {
+	if t == nil {
+		return
+	}
+	if sig, ok := t.Underlying().(*types.Signature); ok {
+		g.dyns = append(g.dyns, dynCall{from: from, sig: sig, pos: pos})
+	}
+}
+
+// escape records that fn is taken as a value with the given static type.
+func (g *graph) escape(fn *types.Func, t types.Type) {
+	n := g.ensure(fn)
+	sig, _ := t.(*types.Signature)
+	if sig == nil {
+		if t != nil {
+			sig, _ = t.Underlying().(*types.Signature)
+		}
+		if sig == nil {
+			sig, _ = fn.Type().(*types.Signature)
+		}
+	}
+	if sig == nil {
+		return
+	}
+	for _, s := range n.valueSigs {
+		if types.Identical(s, sig) {
+			return
+		}
+	}
+	if len(n.valueSigs) == 0 {
+		g.escaped = append(g.escaped, n)
+	}
+	n.valueSigs = append(n.valueSigs, sig)
+}
+
+// resolve turns the recorded interface and dynamic call sites into
+// conservative edges.
+func (g *graph) resolve() {
+	for name := range g.methods {
+		ms := g.methods[name]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].node.sym < ms[j].node.sym })
+	}
+	for _, ic := range g.ifaces {
+		seen := make(map[*cgNode]bool)
+		for _, m := range g.methods[ic.name] {
+			if seen[m.node] {
+				continue
+			}
+			if types.Implements(m.recv, ic.iface) || implementsPtr(m.recv, ic.iface) {
+				seen[m.node] = true
+				g.addEdge(ic.from, m.node, ic.pos, nil)
+			}
+		}
+	}
+	for _, dc := range g.dyns {
+		seen := make(map[*cgNode]bool)
+		for _, n := range g.escaped {
+			if seen[n] {
+				continue
+			}
+			for _, s := range n.valueSigs {
+				if types.Identical(s, dc.sig) {
+					seen[n] = true
+					g.addEdge(dc.from, n, dc.pos, nil)
+					break
+				}
+			}
+		}
+	}
+}
+
+// implementsPtr reports whether *T implements iface for a non-pointer
+// receiver type T (the pointer method set includes the value methods).
+func implementsPtr(recv types.Type, iface *types.Interface) bool {
+	if _, ok := recv.(*types.Pointer); ok {
+		return false
+	}
+	return types.Implements(types.NewPointer(recv), iface)
+}
+
+// computeReach marks every node reachable from a simulation entry point,
+// stopping at the exempt-package boundary. Entries are every function
+// declared in a simulation package (which subsumes the Fig*Experiment
+// point functions, des.Engine callbacks, and everything a runner.Point
+// config funnels into the kernel) plus the init node of every package a
+// simulation package transitively imports.
+func (g *graph) computeReach(pkgs []*Package) {
+	closure := simImportClosure(pkgs)
+	var entries []*cgNode
+	for _, p := range pkgs {
+		for _, n := range g.declared[p] {
+			if isSimPackage(n.pkg) || (n.fn == nil && closure[n.pkg]) {
+				n.entry = true
+				entries = append(entries, n)
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].sym < entries[j].sym })
+	queue := make([]*cgNode, 0, len(entries))
+	for _, n := range entries {
+		if !n.reachable {
+			n.reachable = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.edges {
+			t := e.to
+			if t.reachable || t.p == nil || isExemptPackage(t.pkg) {
+				continue
+			}
+			t.reachable = true
+			t.via = n
+			queue = append(queue, t)
+		}
+	}
+}
+
+// simImportClosure is the set of package paths transitively imported by
+// the loaded simulation packages (their inits run before any point).
+func simImportClosure(pkgs []*Package) map[string]bool {
+	closure := make(map[string]bool)
+	var visit func(tp *types.Package)
+	visit = func(tp *types.Package) {
+		if closure[tp.Path()] {
+			return
+		}
+		closure[tp.Path()] = true
+		for _, imp := range tp.Imports() {
+			visit(imp)
+		}
+	}
+	for _, p := range pkgs {
+		if isSimPackage(p.Path) {
+			visit(p.Pkg)
+		}
+	}
+	return closure
+}
+
+// chainTo renders the call chain from an entry point to n, optionally
+// ending at a named sink ("pfs.recompute → core.stamp → time.Now").
+func (n *cgNode) chainTo(sink string) []string {
+	var rev []string
+	for m := n; m != nil; m = m.via {
+		rev = append(rev, m.disp)
+	}
+	chain := make([]string, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		chain = append(chain, rev[i])
+	}
+	if sink != "" {
+		chain = append(chain, sink)
+	}
+	return chain
+}
+
+func renderChain(chain []string) string {
+	return strings.Join(chain, " → ")
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// WhyResult explains one function's standing in the reachability
+// analysis, for iolint -why.
+type WhyResult struct {
+	Symbol    string
+	Display   string
+	Package   string
+	Entry     bool
+	Reachable bool
+	Exempt    bool
+	Chain     []string // entry → ... → the function, when reachable
+}
+
+// Why looks up every function whose symbol, display form, or symbol
+// suffix matches query and explains whether (and via which chain) it is
+// sim-reachable.
+func (prog *Program) Why(query string) []WhyResult {
+	var out []WhyResult
+	for _, n := range prog.g.nodes {
+		if n.sym != query && n.disp != query && !strings.HasSuffix(n.sym, query) {
+			continue
+		}
+		r := WhyResult{
+			Symbol:    n.sym,
+			Display:   n.disp,
+			Package:   n.pkg,
+			Entry:     n.entry,
+			Reachable: n.reachable,
+			Exempt:    isExemptPackage(n.pkg),
+		}
+		if n.reachable {
+			r.Chain = n.chainTo("")
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Symbol < out[j].Symbol })
+	return out
+}

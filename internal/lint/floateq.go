@@ -16,7 +16,7 @@ var floateqAnalyzer = &Analyzer{
 	Doc: "forbid ==/!= between floating-point expressions in " +
 		"internal/region, internal/metrics, internal/ftio; use epsilon or " +
 		"ordering comparisons (or integer des.Time arithmetic) instead",
-	Run: func(p *Package) []Diagnostic {
+	Run: func(prog *Program, p *Package) []Diagnostic {
 		applies := false
 		for _, rel := range floateqPackages {
 			if pathIs(p.Path, rel) {

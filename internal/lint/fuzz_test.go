@@ -1,0 +1,62 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"iobehind/internal/lint"
+)
+
+// FuzzParseIgnore pins the suppression parser's three contracts on
+// arbitrary input: it never panics, every marker-bearing line is
+// classified (well-formed or malformed, so a typo'd suppression always
+// surfaces as a "malformed suppression" finding rather than a silent
+// no-op), and a well-formed parse round-trips through re-rendering.
+func FuzzParseIgnore(f *testing.F) {
+	marker := "//iolint:" + "ignore"
+	f.Add("")
+	f.Add("x := 1 // plain comment")
+	f.Add(marker)
+	f.Add(marker + " walltime")
+	f.Add(marker + " walltime lease deadlines are wall-clock by definition")
+	f.Add("\t\t" + marker + "  maporder \t keys sorted below ")
+	f.Add(marker + " " + marker + " nested markers")
+	f.Add(strings.Repeat(marker+" ", 10))
+	f.Add("//iolint:ignoreX not-the-marker") // marker must still be detected as a prefix
+	f.Add("日本語 " + marker + " rule 理由 with unicode")
+	f.Fuzz(func(t *testing.T, line string) {
+		rule, reason, present, ok, col := lint.ParseIgnore(line)
+		if !present {
+			// Absent marker: nothing else may be reported.
+			if ok || rule != "" || reason != "" || col != 0 {
+				t.Fatalf("ParseIgnore(%q) = (%q, %q, %v, %v, %d): non-zero result without a marker",
+					line, rule, reason, present, ok, col)
+			}
+			return
+		}
+		if col < 1 || col > len(line) {
+			t.Fatalf("ParseIgnore(%q): marker column %d out of range", line, col)
+		}
+		if !ok {
+			// Malformed: classified, never silently dropped. rule/reason
+			// must be empty so nothing downstream acts on half a parse.
+			if rule != "" || reason != "" {
+				t.Fatalf("ParseIgnore(%q): malformed parse leaked rule=%q reason=%q", line, rule, reason)
+			}
+			return
+		}
+		if rule == "" || reason == "" {
+			t.Fatalf("ParseIgnore(%q): ok with empty rule=%q or reason=%q", line, rule, reason)
+		}
+		if strings.ContainsAny(rule, " \t") {
+			t.Fatalf("ParseIgnore(%q): rule %q contains whitespace", line, rule)
+		}
+		// Round-trip: re-rendering the parse must parse identically.
+		round := marker + " " + rule + " " + reason
+		r2, s2, p2, ok2, _ := lint.ParseIgnore(round)
+		if !p2 || !ok2 || r2 != rule || s2 != reason {
+			t.Fatalf("round-trip of %q: ParseIgnore(%q) = (%q, %q, %v, %v)",
+				line, round, r2, s2, p2, ok2)
+		}
+	})
+}

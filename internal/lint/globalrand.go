@@ -17,59 +17,58 @@ var randConstructors = map[string]map[string]bool{
 
 var globalrandAnalyzer = &Analyzer{
 	Name: "globalrand",
-	Doc: "forbid global math/rand draws, unseeded rand.New, and crypto/rand " +
-		"in simulation packages; randomness must come from an explicitly " +
-		"seeded *rand.Rand threaded through config",
-	Run: func(p *Package) []Diagnostic {
-		if !isSimPackage(p.Path) {
-			return nil
-		}
+	Doc: "forbid any call path from a simulation entry point to global " +
+		"math/rand draws, unseeded rand.New, or crypto/rand; randomness " +
+		"must come from an explicitly seeded *rand.Rand threaded through config",
+	Run: func(prog *Program, p *Package) []Diagnostic {
 		var diags []Diagnostic
-		report := func(n ast.Node, msg string) {
-			diags = append(diags, Diagnostic{Pos: p.Fset.Position(n.Pos()), Rule: "globalrand", Message: msg})
-		}
-		for _, f := range p.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
+		for _, n := range prog.reachableDeclared(p) {
+			for _, e := range n.edges {
+				fn := e.to.fn
+				if fn == nil || fn.Pkg() == nil {
+					continue
 				}
-				fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
-				if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
-					return true
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					continue
 				}
 				path := fn.Pkg().Path()
+				report := func(msg string) {
+					chain := n.chainTo(e.to.disp)
+					diags = append(diags, Diagnostic{
+						Pos: e.pos, Rule: "globalrand", Chain: chain,
+						Message: msg + " (" + renderChain(chain) + ")",
+					})
+				}
 				if path == "crypto/rand" {
-					report(sel, "crypto/rand is nondeterministic by design; "+
+					report("crypto/rand is nondeterministic by design; " +
 						"simulation randomness must come from a seeded *rand.Rand")
-					return true
+					continue
 				}
 				ctors, ok := randConstructors[path]
 				if !ok {
-					return true
+					continue
 				}
 				if !ctors[fn.Name()] {
-					report(sel, "global "+path+"."+fn.Name()+
+					report("global " + path + "." + fn.Name() +
 						" draws from hidden shared state; use an explicitly seeded *rand.Rand from config")
-					return true
+					continue
 				}
-				if fn.Name() == "New" && !seededSourceArg(p, sel) {
-					report(sel, path+".New with an indirect source; seed it in place "+
+				if fn.Name() == "New" && !seededSourceArg(p, e.call) {
+					report(path + ".New with an indirect source; seed it in place " +
 						"with rand.NewSource(seed) so the seed provably comes from config")
 				}
-				return true
-			})
+			}
 		}
 		return diags
 	},
 }
 
-// seededSourceArg reports whether the rand.New call enclosing sel passes a
-// source constructed in place by a math/rand(/v2) source constructor
-// (NewSource, NewPCG, NewChaCha8) — the only shape the analyzer can prove
-// is explicitly seeded.
-func seededSourceArg(p *Package, sel *ast.SelectorExpr) bool {
-	call := enclosingCall(p, sel)
+// seededSourceArg reports whether the rand.New call passes a source
+// constructed in place by a math/rand(/v2) source constructor
+// (NewSource, NewPCG, NewChaCha8) — the only shape the analyzer can
+// prove is explicitly seeded. A nil call (an indirect edge) proves
+// nothing.
+func seededSourceArg(p *Package, call *ast.CallExpr) bool {
 	if call == nil || len(call.Args) == 0 {
 		return false
 	}
@@ -93,22 +92,4 @@ func seededSourceArg(p *Package, sel *ast.SelectorExpr) bool {
 		return true
 	}
 	return false
-}
-
-// enclosingCall finds the CallExpr whose Fun is sel by re-walking the
-// file; nil when sel is referenced without being called.
-func enclosingCall(p *Package, sel *ast.SelectorExpr) *ast.CallExpr {
-	var found *ast.CallExpr
-	for _, f := range p.Files {
-		if f.Pos() <= sel.Pos() && sel.End() <= f.End() {
-			ast.Inspect(f, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok && call.Fun == sel {
-					found = call
-					return false
-				}
-				return found == nil
-			})
-		}
-	}
-	return found
 }

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// ignoreMarker introduces a suppression comment. Built by concatenation
+// so this very file does not read as a (malformed) suppression.
+const ignoreMarker = "//iolint:" + "ignore"
+
+// ParseIgnore scans one source line for a suppression marker and parses
+// it. present reports that the marker occurs at all; ok reports that the
+// suppression is well-formed (a rule name and a non-empty reason —
+// anything less suppresses nothing and is reported as malformed). col is
+// the 1-based column of the marker, 0 when absent. The format is
+//
+//	//iolint:ignore <rule> <reason...>
+//
+// and the parser is deliberately line-oriented and total: any input is
+// classified, nothing panics, and malformed inputs always surface as
+// "malformed suppression" findings (FuzzParseIgnore pins all three
+// properties).
+func ParseIgnore(line string) (rule, reason string, present, ok bool, col int) {
+	idx := strings.Index(line, ignoreMarker)
+	if idx < 0 {
+		return "", "", false, false, 0
+	}
+	fields := strings.Fields(line[idx+len(ignoreMarker):])
+	if len(fields) < 2 {
+		return "", "", true, false, idx + 1
+	}
+	return fields[0], strings.Join(fields[1:], " "), true, true, idx + 1
+}
+
+// suppressions resolves //iolint:ignore comments. Line tables are read
+// from source text (cached per file) rather than only from loaded ASTs,
+// because cachekey diagnostics can land in packages reached solely
+// through the type graph, whose comments were never parsed. For files
+// that *are* loaded, registerSpans additionally records multi-line
+// statement extents so a suppression above a statement covers every
+// line the statement spans.
+type suppressions struct {
+	files map[string]map[int][]string // filename -> line -> suppressed rules
+	spans map[string]map[int]int      // filename -> start line -> max end line
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{
+		files: make(map[string]map[int][]string),
+		spans: make(map[string]map[int]int),
+	}
+}
+
+// registerSpans records, for each of p's files, the line extent of every
+// statement, declaration, and spec, keyed by its starting line. covers
+// uses them to widen a suppression to the whole statement beneath it.
+func (s *suppressions) registerSpans(p *Package) {
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if _, ok := s.spans[name]; ok {
+			continue
+		}
+		m := make(map[int]int)
+		s.spans[name] = m
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case ast.Stmt, ast.Decl, ast.Spec:
+				start := p.Fset.Position(n.Pos()).Line
+				end := p.Fset.Position(n.End()).Line
+				if end > m[start] {
+					m[start] = end
+				}
+			}
+			return true
+		})
+	}
+}
+
+// covers reports whether d is suppressed by a well-formed ignore comment
+// for its rule on its own line, the line directly above, or a line whose
+// following statement's span contains d's line.
+func (s *suppressions) covers(d Diagnostic) bool {
+	lines := s.load(d.Pos.Filename)
+	spans := s.spans[d.Pos.Filename]
+	match := func(line int) bool {
+		for _, rule := range lines[line] {
+			if rule == d.Rule {
+				return true
+			}
+		}
+		return false
+	}
+	if match(d.Pos.Line) || match(d.Pos.Line-1) {
+		return true
+	}
+	// A suppression on line L covers the whole statement starting on L
+	// (trailing comment on the first line) or on L+1 (comment above a
+	// multi-line statement).
+	for line := range lines {
+		if !match(line) {
+			continue
+		}
+		for _, start := range []int{line, line + 1} {
+			if end, ok := spans[start]; ok && start <= d.Pos.Line && d.Pos.Line <= end {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// malformed reports ignore comments in p's files that lack a rule or a
+// reason — they suppress nothing, and leaving them silent would let a
+// suppression rot into a no-op unnoticed.
+func (s *suppressions) malformed(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	seen := make(map[string]bool)
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		data, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		for i, text := range strings.Split(string(data), "\n") {
+			_, _, present, ok, col := ParseIgnore(text)
+			if !present || ok {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     token.Position{Filename: name, Line: i + 1, Column: col},
+				Rule:    "ignore",
+				Message: "malformed suppression: want " + ignoreMarker + " <rule> <reason>",
+			})
+		}
+	}
+	return diags
+}
+
+// load parses one file's suppression lines on first use.
+func (s *suppressions) load(filename string) map[int][]string {
+	if m, ok := s.files[filename]; ok {
+		return m
+	}
+	m := make(map[int][]string)
+	s.files[filename] = m
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return m
+	}
+	for i, text := range strings.Split(string(data), "\n") {
+		rule, _, _, ok, _ := ParseIgnore(text)
+		if !ok {
+			continue
+		}
+		m[i+1] = append(m[i+1], rule)
+	}
+	return m
+}

@@ -1,22 +1,37 @@
-// Package lint is iolint's engine: a stdlib-only static-analysis pass
-// that enforces the invariants the simulator's reproducibility rests on.
+// Package lint is iolint's engine: a stdlib-only whole-program static
+// analysis that enforces the invariants the simulator's reproducibility
+// rests on.
 //
 // The paper's metrics (B, B_L, T — Eq. 3) are reproducible only because
-// every experiment point is a pure function of its configuration. Two
+// every experiment point is a pure function of its configuration. Three
 // subsystems silently depend on that purity: the runner's SHA-256 result
-// cache (a point's canonical-JSON config *is* its identity) and the
-// gateway's online-vs-offline sweep equality (the same phases must
-// aggregate to the same series no matter when they are observed). Nothing
-// used to check that simulation code never reads the wall clock, never
-// draws from unseeded global randomness, and never places unhashable
-// fields into cache-keyed configs; iolint encodes those hazards as
-// machine-checked rules:
+// cache (a point's canonical-JSON config *is* its identity), the
+// gateway's online-vs-offline sweep equality, and the distributed fabric
+// (which ships cached results between machines keyed by that identity).
+// iolint encodes the hazards as machine-checked rules over a module-wide
+// call graph (see callgraph.go): functions declared in the simulation
+// packages are *entry points*, everything they can call — through any
+// number of packages, interfaces, or function values — is
+// *sim-reachable*, and the taint rules police sim-reachable code
+// wherever it is declared:
 //
-//   - walltime   — time.Now/Sleep/Since/After (and friends) are forbidden
-//     in the simulation packages; all time must flow from des.Time.
-//   - globalrand — top-level math/rand(/v2) draws and unseeded rand.New
-//     are forbidden in the simulation packages; randomness must come from
-//     an explicitly seeded *rand.Rand threaded through config.
+//   - walltime   — no path from an entry point to time.Now/Sleep/Since/
+//     After/...; all time must flow from des.Time. Findings carry the
+//     full call chain (pfs.recompute → core.stamp → time.Now).
+//   - globalrand — no path to global math/rand(/v2) draws, unseeded
+//     rand.New, or crypto/rand; randomness must come from an explicitly
+//     seeded *rand.Rand threaded through config.
+//   - maporder   — no ranging over a map in sim-reachable code where the
+//     loop body appends to a slice, schedules events, writes output, or
+//     accumulates floats: map order is randomized per run.
+//   - goroutine  — no go statements or channel operations in
+//     sim-reachable code; the kernel is single-threaded by design and
+//     concurrency belongs to the exempt packages.
+//   - errdrop    — no discarded error from the fuzz-tested decoders
+//     (tmio.DecodeStreamRecord, trace.DecodeRecord, fabric.DecodeMsg) or
+//     from Close/Flush on files and buffered writers in the fabric and
+//     runner packages, where a swallowed error breaks the resume
+//     guarantee.
 //   - cachekey   — structs reachable from a runner.Point config, or from
 //     a fabric.ManifestPoint config about to travel the wire, must mark
 //     func/chan/unexported-interface fields `json:"-"` so json.Marshal
@@ -25,9 +40,15 @@
 //     in internal/region, internal/metrics, and internal/ftio; interval
 //     arithmetic there must use epsilon or ordering comparisons.
 //
+// The taint rules stop at an explicit exemption boundary — internal/
+// runner, internal/gateway, internal/fabric, and cmd/ — the layers that
+// run on real machines around the simulation (worker pools, TCP ingest,
+// lease deadlines) and can never influence a point's result.
+//
 // Analyzers inspect non-test files only; tests may freely use wall time
 // and ad-hoc randomness. A finding can be suppressed with a comment on
-// the offending line or the line directly above it:
+// the offending line, the line directly above it, or the line directly
+// above the statement containing it:
 //
 //	//iolint:ignore <rule> <reason>
 //
@@ -38,11 +59,11 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"os"
 	"sort"
 	"strings"
 )
@@ -52,6 +73,11 @@ type Diagnostic struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	// Chain, for reachability findings, is the call chain from a
+	// simulation entry point to the sink ("pfs.recompute", "core.stamp",
+	// "time.Now"). The text rendering folds it into Message; the JSON
+	// rendering carries it as a structured field.
+	Chain []string
 }
 
 // String renders the diagnostic in the canonical file:line form.
@@ -59,10 +85,39 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
+// jsonDiagnostic fixes the JSON field set; names are part of iolint's
+// output contract and pinned by a golden test.
+type jsonDiagnostic struct {
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Rule    string   `json:"rule"`
+	Message string   `json:"message"`
+	Chain   []string `json:"chain,omitempty"`
+}
+
+// FormatJSON renders diagnostics as an indented JSON array with stable
+// field names, preserving the input (sorted) order. An empty set renders
+// as [] rather than null.
+func FormatJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+			Chain:   d.Chain,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
 // Package is one loaded, typechecked package handed to analyzers.
 type Package struct {
 	// Path is the package's import path (e.g. "iobehind/internal/des");
-	// rule applicability is decided on it.
+	// entry-point and exemption decisions are made on it.
 	Path  string
 	Fset  *token.FileSet
 	Files []*ast.File
@@ -70,29 +125,29 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one named rule.
+// Analyzer is one named rule. Run receives the whole program (for the
+// call graph) and the single package whose declarations it must report
+// on, so RunAll visits each finding exactly once.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(p *Package) []Diagnostic
+	Run  func(prog *Program, p *Package) []Diagnostic
 }
 
 // Analyzers returns every rule in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{walltimeAnalyzer, globalrandAnalyzer, cachekeyAnalyzer, floateqAnalyzer}
+	return []*Analyzer{
+		walltimeAnalyzer, globalrandAnalyzer, maporderAnalyzer,
+		goroutineAnalyzer, errdropAnalyzer, cachekeyAnalyzer, floateqAnalyzer,
+	}
 }
 
-// simPackages are the packages whose behaviour must be a pure function of
-// config and seed: everything that executes inside (or enumerates) a
-// virtual-time simulation.
-//
-// internal/fabric is deliberately absent: the distributed-sweep fabric
-// legitimately reads the wall clock for lease deadlines, reconnect
-// backoff, and worker liveness — properties of real machines, not of the
-// simulated cluster — and none of them can influence a point's result.
-// Everything a fabric manifest can carry still falls under the cachekey
-// rule (see fabric.ManifestPoint in cachekey.go), which is what keeps
-// remote execution byte-identical to local.
+// simPackages are the packages whose declared functions are the
+// reachability entry points: everything that executes inside (or
+// enumerates) a virtual-time simulation. Unlike the pre-call-graph
+// engine, this list no longer bounds where rules fire — taint follows
+// calls into any non-exempt package — it only defines where simulation
+// code *starts*.
 var simPackages = []string{
 	"des", "sched", "cluster", "adio", "pfs", "mpi", "mpiio",
 	"region", "metrics", "ftio", "workloads", "experiments", "faults",
@@ -120,15 +175,24 @@ func pathIs(path, rel string) bool {
 	return i >= 0 || strings.HasPrefix(path, rel+"/")
 }
 
-// RunAll applies every analyzer to every package, drops suppressed
-// findings, reports malformed suppression comments, deduplicates, and
-// returns the result sorted by position then rule.
+// RunAll builds the whole-program view over pkgs, applies every
+// analyzer, drops suppressed findings, reports malformed suppression
+// comments, deduplicates, and returns the result sorted by position then
+// rule.
 func RunAll(pkgs []*Package) []Diagnostic {
-	var diags []Diagnostic
+	return NewProgram(pkgs).Diagnostics()
+}
+
+// Diagnostics applies every analyzer to every package of the program.
+func (prog *Program) Diagnostics() []Diagnostic {
 	sup := newSuppressions()
-	for _, p := range pkgs {
+	for _, p := range prog.Pkgs {
+		sup.registerSpans(p)
+	}
+	var diags []Diagnostic
+	for _, p := range prog.Pkgs {
 		for _, a := range Analyzers() {
-			for _, d := range a.Run(p) {
+			for _, d := range a.Run(prog, p) {
 				if !sup.covers(d) {
 					diags = append(diags, d)
 				}
@@ -164,94 +228,4 @@ func dedupeSort(diags []Diagnostic) []Diagnostic {
 		prev = d
 	}
 	return out
-}
-
-// ignoreMarker introduces a suppression comment. Built by concatenation
-// so this very file does not read as a (malformed) suppression.
-const ignoreMarker = "//iolint:" + "ignore"
-
-// suppressions resolves //iolint:ignore comments. It reads source files
-// directly (cached per file) rather than relying on loaded ASTs: cachekey
-// diagnostics can land in packages reached only through the type graph,
-// whose comments were never parsed.
-type suppressions struct {
-	files map[string]map[int][]string // filename -> line -> suppressed rules
-}
-
-func newSuppressions() *suppressions {
-	return &suppressions{files: make(map[string]map[int][]string)}
-}
-
-// covers reports whether d is suppressed by a well-formed ignore comment
-// on its own line or the line directly above.
-func (s *suppressions) covers(d Diagnostic) bool {
-	lines := s.load(d.Pos.Filename)
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, rule := range lines[line] {
-			if rule == d.Rule {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// malformed reports ignore comments in p's files that lack a rule or a
-// reason — they suppress nothing, and leaving them silent would let a
-// suppression rot into a no-op unnoticed.
-func (s *suppressions) malformed(p *Package) []Diagnostic {
-	var diags []Diagnostic
-	seen := make(map[string]bool)
-	for _, f := range p.Files {
-		name := p.Fset.Position(f.Pos()).Filename
-		if seen[name] {
-			continue
-		}
-		seen[name] = true
-		data, err := os.ReadFile(name)
-		if err != nil {
-			continue
-		}
-		for i, text := range strings.Split(string(data), "\n") {
-			idx := strings.Index(text, ignoreMarker)
-			if idx < 0 {
-				continue
-			}
-			fields := strings.Fields(text[idx+len(ignoreMarker):])
-			if len(fields) >= 2 {
-				continue // rule + reason: well-formed
-			}
-			diags = append(diags, Diagnostic{
-				Pos:     token.Position{Filename: name, Line: i + 1, Column: idx + 1},
-				Rule:    "ignore",
-				Message: "malformed suppression: want //iolint:ignore <rule> <reason>",
-			})
-		}
-	}
-	return diags
-}
-
-// load parses one file's suppression lines on first use.
-func (s *suppressions) load(filename string) map[int][]string {
-	if m, ok := s.files[filename]; ok {
-		return m
-	}
-	m := make(map[int][]string)
-	s.files[filename] = m
-	data, err := os.ReadFile(filename)
-	if err != nil {
-		return m
-	}
-	for i, text := range strings.Split(string(data), "\n") {
-		idx := strings.Index(text, ignoreMarker)
-		if idx < 0 {
-			continue
-		}
-		fields := strings.Fields(text[idx+len(ignoreMarker):])
-		if len(fields) < 2 {
-			continue // no rule or no reason: not a valid suppression
-		}
-		m[i+1] = append(m[i+1], fields[0])
-	}
-	return m
 }

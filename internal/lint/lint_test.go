@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/importer"
 	"go/token"
+	"go/types"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -42,6 +43,13 @@ func TestAnalyzers(t *testing.T) {
 		{name: "walltime-fabric-excluded", dir: "walltime", path: "iobehind/internal/fabric", ignoreWants: true},
 		{name: "globalrand", dir: "globalrand", path: "iobehind/internal/pfs"},
 		{name: "globalrand-outside-sim", dir: "globalrand", path: "iobehind/internal/tmio", ignoreWants: true},
+		{name: "maporder", dir: "maporder", path: "iobehind/internal/sched"},
+		{name: "maporder-exempt", dir: "maporder", path: "iobehind/internal/runner", ignoreWants: true},
+		{name: "goroutine", dir: "goroutine", path: "iobehind/internal/des"},
+		{name: "goroutine-exempt", dir: "goroutine", path: "iobehind/internal/fabric", ignoreWants: true},
+		{name: "errdrop", dir: "errdrop", path: "iobehind/internal/fabric"},
+		{name: "errdrop-outside", dir: "errdrop", path: "iobehind/internal/gateway", ignoreWants: true},
+		{name: "suppress-edge-cases", dir: "suppress", path: "iobehind/internal/metrics"},
 		{name: "cachekey", dir: "cachekey", path: "iobehind/internal/lintfixture"},
 		{name: "floateq", dir: "floateq", path: "iobehind/internal/region"},
 		{name: "floateq-outside", dir: "floateq", path: "iobehind/internal/pfs", ignoreWants: true},
@@ -135,8 +143,8 @@ func TestDiagnosticString(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry pins the shipped rule set: the four invariants the
-// sweep cache and online/offline equality depend on.
+// TestAnalyzerRegistry pins the shipped rule set: the seven invariants
+// the sweep cache and online/offline equality depend on.
 func TestAnalyzerRegistry(t *testing.T) {
 	var names []string
 	for _, a := range lint.Analyzers() {
@@ -145,15 +153,75 @@ func TestAnalyzerRegistry(t *testing.T) {
 			t.Errorf("analyzer %s: missing doc or run", a.Name)
 		}
 	}
-	want := []string{"walltime", "globalrand", "cachekey", "floateq"}
+	want := []string{"walltime", "globalrand", "maporder", "goroutine", "errdrop", "cachekey", "floateq"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("analyzers = %v, want %v", names, want)
 	}
 }
 
+// TestReachabilityAcrossPackages is the seeded regression for the
+// whole-program engine: a wall-clock read and a PR-5-shaped map-order
+// bug hidden in a helper package OUTSIDE the simulation list, reached
+// only through calls from a simulation package. The package-scoped
+// rules this engine replaced provably missed both (the helper alone is
+// clean); the call graph reports them with full chains.
+func TestReachabilityAcrossPackages(t *testing.T) {
+	fset := token.NewFileSet()
+	src := importer.ForCompiler(fset, "source", nil)
+
+	helper, err := lint.Check(fset, src, filepath.Join("testdata", "src", "reachcore"), "iobehind/internal/core")
+	if err != nil {
+		t.Fatalf("load helper: %v", err)
+	}
+	// Alone, the helper produces nothing: it is not a simulation package,
+	// so nothing in it is sim-reachable. This is exactly the blind spot of
+	// a package-list rule.
+	if diags := lint.RunAll([]*lint.Package{helper}); len(diags) != 0 {
+		t.Fatalf("helper alone should be clean, got %v", diags)
+	}
+
+	chain := &lint.ChainImporter{
+		Pkgs:     map[string]*types.Package{"iobehind/internal/core": helper.Pkg},
+		Fallback: src,
+	}
+	sim, err := lint.Check(fset, chain, filepath.Join("testdata", "src", "reach"), "iobehind/internal/pfs")
+	if err != nil {
+		t.Fatalf("load sim fixture: %v", err)
+	}
+	diags := lint.RunAll([]*lint.Package{helper, sim})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%v", len(diags), diags)
+	}
+	byRule := make(map[string]lint.Diagnostic)
+	for _, d := range diags {
+		byRule[d.Rule] = d
+		if base := filepath.Base(d.Pos.Filename); base != "core.go" {
+			t.Errorf("[%s] reported in %s, want the helper file core.go", d.Rule, base)
+		}
+	}
+	wt, ok := byRule["walltime"]
+	if !ok {
+		t.Fatalf("no walltime diagnostic in %v", diags)
+	}
+	if got, want := strings.Join(wt.Chain, " → "), "pfs.Recompute → core.Stamp → core.now → time.Now"; got != want {
+		t.Errorf("walltime chain = %q, want %q", got, want)
+	}
+	if !strings.Contains(wt.Message, "pfs.Recompute → core.Stamp → core.now → time.Now") {
+		t.Errorf("walltime message lacks the rendered chain: %s", wt.Message)
+	}
+	mo, ok := byRule["maporder"]
+	if !ok {
+		t.Fatalf("no maporder diagnostic in %v", diags)
+	}
+	if got, want := strings.Join(mo.Chain, " → "), "pfs.Layout → core.Requests"; got != want {
+		t.Errorf("maporder chain = %q, want %q", got, want)
+	}
+}
+
 // TestLoadRepo smoke-loads two real packages through the pattern loader
-// and asserts the simulation tree is currently clean — the invariant
-// make ci enforces.
+// (which expands to their module-internal import closure so type
+// identity stays unified) and asserts the loaded tree is currently
+// clean — the invariant make ci enforces.
 func TestLoadRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("typechecking the repo is slow; skipped with -short")
@@ -162,10 +230,98 @@ func TestLoadRepo(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if len(pkgs) != 2 {
-		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	found := make(map[string]bool)
+	for _, p := range pkgs {
+		found[p.Path] = true
+	}
+	for _, want := range []string{"iobehind/internal/des", "iobehind/internal/region"} {
+		if !found[want] {
+			t.Errorf("Load did not return %s (got %d packages)", want, len(pkgs))
+		}
 	}
 	for _, d := range lint.RunAll(pkgs) {
 		t.Errorf("unexpected diagnostic in clean tree: %s", d)
 	}
 }
+
+// TestGoldenOutput pins both renderings of iolint's findings — the
+// file:line:col text form and the -json form with its stable field
+// names — over a fixture that trips three different rules.
+func TestGoldenOutput(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	p, err := lint.Check(fset, imp, filepath.Join("testdata", "src", "multirule"), "iobehind/internal/metrics")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags := lint.RunAll([]*lint.Package{p})
+	for i := range diags {
+		diags[i].Pos.Filename = filepath.Base(diags[i].Pos.Filename)
+	}
+
+	var text strings.Builder
+	for _, d := range diags {
+		text.WriteString(d.String())
+		text.WriteString("\n")
+	}
+	if got := text.String(); got != goldenText {
+		t.Errorf("text rendering drifted:\n--- got ---\n%s--- want ---\n%s", got, goldenText)
+	}
+
+	out, err := lint.FormatJSON(diags)
+	if err != nil {
+		t.Fatalf("FormatJSON: %v", err)
+	}
+	if got := string(out) + "\n"; got != goldenJSON {
+		t.Errorf("JSON rendering drifted:\n--- got ---\n%s--- want ---\n%s", got, goldenJSON)
+	}
+
+	// The empty set renders as [], not null — scripts consuming -json
+	// depend on always getting an array.
+	empty, err := lint.FormatJSON(nil)
+	if err != nil {
+		t.Fatalf("FormatJSON(nil): %v", err)
+	}
+	if string(empty) != "[]" {
+		t.Errorf("FormatJSON(nil) = %q, want []", empty)
+	}
+}
+
+// goldenText and goldenJSON pin iolint's two output renderings over the
+// multirule fixture (filenames reduced to their base name).
+const goldenText = `multirule.go:10:17: [walltime] wall-clock call time.Now is sim-reachable (metrics.epoch → time.Now); derive time from des.Time so results stay a pure function of config
+multirule.go:14:11: [floateq] floating-point == comparison; use an epsilon or ordering comparison so interval arithmetic stays stable
+multirule.go:19:2: [maporder] range over map[string]int appends to a slice; map iteration order is randomized per run — iterate a sorted or first-appearance order instead (metrics.Keys)
+`
+
+const goldenJSON = `[
+  {
+    "file": "multirule.go",
+    "line": 10,
+    "col": 17,
+    "rule": "walltime",
+    "message": "wall-clock call time.Now is sim-reachable (metrics.epoch → time.Now); derive time from des.Time so results stay a pure function of config",
+    "chain": [
+      "metrics.epoch",
+      "time.Now"
+    ]
+  },
+  {
+    "file": "multirule.go",
+    "line": 14,
+    "col": 11,
+    "rule": "floateq",
+    "message": "floating-point == comparison; use an epsilon or ordering comparison so interval arithmetic stays stable"
+  },
+  {
+    "file": "multirule.go",
+    "line": 19,
+    "col": 2,
+    "rule": "maporder",
+    "message": "range over map[string]int appends to a slice; map iteration order is randomized per run — iterate a sorted or first-appearance order instead (metrics.Keys)",
+    "chain": [
+      "metrics.Keys"
+    ]
+  }
+]
+`

@@ -20,7 +20,13 @@ import (
 // simulation code, not its tests. Directories named testdata, hidden
 // directories, and directories without non-test Go files are skipped.
 //
-// Typechecking uses the stdlib source importer, so the only external
+// The target set is expanded to its module-internal import closure, and
+// packages are typechecked in dependency order with module-internal
+// imports resolving to the already-checked packages, so every module
+// package in the load is checked exactly once and type identity is
+// unified across the whole load — the property the call-graph builder's
+// interface-implementation checks depend on. Only standard-library
+// imports fall back to the stdlib source importer, so the only external
 // requirement is a resolvable GOROOT — no x/tools, no export data.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	module, err := modulePath(dir)
@@ -32,8 +38,39 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	var pkgs []*Package
+
+	// Parse everything first so the dependency order among the targets is
+	// known before any typechecking starts.
+	type unit struct {
+		dir, path string
+		files     []*ast.File
+		imports   []string
+	}
+	var units []*unit
+	byPath := make(map[string]*unit)
+	addUnit := func(d, path string) (*unit, error) {
+		files, err := parseDir(fset, d)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, nil
+		}
+		u := &unit{dir: d, path: path, files: files}
+		seen := make(map[string]bool)
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if !seen[p] {
+					seen[p] = true
+					u.imports = append(u.imports, p)
+				}
+			}
+		}
+		units = append(units, u)
+		byPath[path] = u
+		return u, nil
+	}
 	for _, d := range dirs {
 		rel, err := filepath.Rel(dir, d)
 		if err != nil {
@@ -43,15 +80,99 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if rel != "." {
 			path = module + "/" + filepath.ToSlash(rel)
 		}
-		p, err := Check(fset, imp, d, path)
+		if _, err := addUnit(d, path); err != nil {
+			return nil, err
+		}
+	}
+
+	// Expand to the module-internal import closure: a module package
+	// imported by a target but excluded from the patterns must still be
+	// typechecked in this load, or the fallback importer would rebuild it
+	// (and, transitively, packages that *are* in the target set) in a
+	// second type universe and identical types would stop comparing equal.
+	// Closure packages also carry taint — a sim entry point's chain does
+	// not stop at a pattern boundary.
+	for i := 0; i < len(units); i++ {
+		for _, imp := range units[i].imports {
+			if byPath[imp] != nil || !strings.HasPrefix(imp, module+"/") {
+				continue
+			}
+			d := filepath.Join(dir, filepath.FromSlash(strings.TrimPrefix(imp, module+"/")))
+			if !hasGoFiles(d) {
+				continue
+			}
+			if _, err := addUnit(d, imp); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Topological order (imports before importers). Valid Go has no
+	// cycles among these; anything unresolved just keeps its place.
+	order := make([]*unit, 0, len(units))
+	state := make(map[*unit]int) // 0 new, 1 visiting, 2 done
+	var visit func(u *unit)
+	visit = func(u *unit) {
+		if state[u] != 0 {
+			return
+		}
+		state[u] = 1
+		for _, imp := range u.imports {
+			if dep, ok := byPath[imp]; ok && state[dep] == 0 {
+				visit(dep)
+			}
+		}
+		state[u] = 2
+		order = append(order, u)
+	}
+	for _, u := range units {
+		visit(u)
+	}
+
+	chain := &ChainImporter{
+		Fallback: importer.ForCompiler(fset, "source", nil),
+		Pkgs:     make(map[string]*types.Package, len(order)),
+	}
+	var pkgs []*Package
+	for _, u := range order {
+		p, err := checkFiles(fset, chain, u.path, u.files)
 		if err != nil {
 			return nil, err
 		}
-		if p != nil {
-			pkgs = append(pkgs, p)
-		}
+		chain.Pkgs[u.path] = p.Pkg
+		pkgs = append(pkgs, p)
 	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// ChainImporter resolves imports from an explicit package map before
+// falling back to another importer. Load uses it to hand each package
+// the packages checked before it; tests use it to load fixture packages
+// that import one another under claimed paths.
+type ChainImporter struct {
+	Pkgs     map[string]*types.Package
+	Fallback types.Importer
+}
+
+// Import implements types.Importer.
+func (c *ChainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.Pkgs[path]; ok {
+		return p, nil
+	}
+	return c.Fallback.Import(path)
+}
+
+// ImportFrom implements types.ImporterFrom so the source importer's
+// srcDir-aware resolution still applies on fallback.
+func (c *ChainImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.Pkgs[path]; ok {
+		return p, nil
+	}
+	if from, ok := c.Fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, srcDir, mode)
+	}
+	return c.Fallback.Import(path)
 }
 
 // Check parses and typechecks the non-test Go files of one directory as
@@ -59,6 +180,18 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 // directory has no non-test Go files. Exposed so tests can load fixture
 // directories under an arbitrary claimed import path.
 func Check(fset *token.FileSet, imp types.Importer, dir, path string) (*Package, error) {
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return checkFiles(fset, imp, path, files)
+}
+
+// parseDir parses the sorted non-test Go files of dir (with comments).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -71,9 +204,6 @@ func Check(fset *token.FileSet, imp types.Importer, dir, path string) (*Package,
 		}
 		names = append(names, name)
 	}
-	if len(names) == 0 {
-		return nil, nil
-	}
 	sort.Strings(names)
 	var files []*ast.File
 	for _, name := range names {
@@ -83,6 +213,11 @@ func Check(fset *token.FileSet, imp types.Importer, dir, path string) (*Package,
 		}
 		files = append(files, f)
 	}
+	return files, nil
+}
+
+// checkFiles typechecks already-parsed files as the package at path.
+func checkFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Uses:       make(map[*ast.Ident]types.Object),

@@ -1,0 +1,49 @@
+// Fixture for the errdrop rule. Loaded under the claimed import path
+// iobehind/internal/fabric, where both halves of the rule apply: the
+// local DecodeMsg stands in for the real fuzz-tested decoder, and
+// Close/Flush on files and buffered writers are journal/cache write
+// paths. Loaded again under iobehind/internal/gateway, where neither
+// half applies and nothing may be reported.
+package fixture
+
+import (
+	"bufio"
+	"os"
+)
+
+// Msg and DecodeMsg mirror the real decoder's contract: zero value
+// exactly when err != nil.
+type Msg struct{ Kind string }
+
+func DecodeMsg(b []byte) (Msg, error) {
+	if len(b) == 0 {
+		return Msg{}, os.ErrInvalid
+	}
+	return Msg{Kind: string(b)}, nil
+}
+
+func drops(f *os.File, w *bufio.Writer, b []byte) {
+	DecodeMsg(b)         // want "discarded error from fabric.DecodeMsg"
+	m, _ := DecodeMsg(b) // want "error from fabric.DecodeMsg assigned to _"
+	_ = m
+	f.Close()       // want "discarded error from os.(*File).Close"
+	defer w.Flush() // want "discarded error from bufio.(*Writer).Flush"
+	_ = f.Close()   // want "error from os.(*File).Close assigned to _"
+}
+
+func checked(f *os.File, b []byte) error {
+	if _, err := DecodeMsg(b); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// A Close that is neither *os.File nor *bufio.Writer is not a journal
+// or cache write path.
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func fine(c closer) {
+	c.Close()
+}

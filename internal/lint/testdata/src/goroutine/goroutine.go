@@ -1,0 +1,34 @@
+// Fixture for the goroutine rule. Loaded under the claimed import path
+// iobehind/internal/des (a simulation package) and again under the
+// exempt iobehind/internal/fabric path, where nothing may be reported —
+// the exemption boundary, not a suppression, is what permits real
+// concurrency in the fabric.
+package fixture
+
+func pump(ch chan int, done chan struct{}) {
+	go drain(ch) // want "go statement starts a goroutine"
+	ch <- 1      // want "channel send"
+	<-done       // want "channel receive"
+	// A select is one finding; the channel operations heading its cases
+	// are part of it, not separate findings.
+	select { // want "select over channels"
+	case v := <-ch:
+		_ = v
+	case done <- struct{}{}:
+	}
+	close(ch) // want "close of a channel"
+}
+
+func drain(ch chan int) {
+	v := <-ch // want "channel receive"
+	_ = v
+}
+
+// close as a plain function call is not the channel builtin.
+type conn struct{}
+
+func (conn) close() {}
+
+func fine(c conn) {
+	c.close()
+}

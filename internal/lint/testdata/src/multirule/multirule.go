@@ -1,0 +1,23 @@
+// Fixture for the golden-output test. Claimed as
+// iobehind/internal/metrics so walltime, maporder (sim package), and
+// floateq (scoped package) all fire; TestGoldenOutput pins the text and
+// JSON renderings of the resulting findings byte-for-byte.
+package fixture
+
+import "time"
+
+func epoch() float64 {
+	return float64(time.Now().Unix())
+}
+
+func Equalish(a, b float64) bool {
+	return a == b
+}
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

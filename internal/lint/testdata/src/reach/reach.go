@@ -1,0 +1,13 @@
+// Fixture for the reachability regression test. Claimed as
+// iobehind/internal/pfs (a simulation package); its calls into the
+// reachcore helper make the helper's hidden sinks sim-reachable.
+package pfs
+
+import core "iobehind/internal/core"
+
+// Recompute reaches time.Now two call hops away
+// (Recompute → Stamp → now → time.Now).
+func Recompute() int64 { return core.Stamp() }
+
+// Layout reaches the PR-5-shaped map-order bug one hop away.
+func Layout() []int { return core.Requests(map[int]int{0: 1}) }

@@ -1,0 +1,25 @@
+// Fixture helper for the reachability regression test. This package is
+// claimed as iobehind/internal/core — NOT a simulation package — so the
+// pre-call-graph, package-scoped rules never looked inside it. Its sinks
+// become findings only when a simulation package's calls make them
+// sim-reachable.
+package core
+
+import "time"
+
+// Stamp is the hop the simulation package calls.
+func Stamp() int64 { return now() }
+
+// now hides the wall-clock read one further hop down.
+func now() int64 { return time.Now().UnixNano() }
+
+// Requests reproduces the PR-5 pfs bug shape: building the per-stripe
+// request list by ranging the stripe map, so map iteration order leaks
+// into the slice.
+func Requests(stripes map[int]int) []int {
+	var out []int
+	for s, n := range stripes {
+		out = append(out, s*n)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Fixture for suppression edge cases. Claimed as
+// iobehind/internal/metrics so both the taint rules (sim package) and
+// floateq (scoped package) apply.
+package fixture
+
+import "time"
+
+// Two rules fire on one line; the suppression names floateq, so only
+// the floateq finding is covered and walltime must survive.
+func mixed(a float64) bool {
+	//iolint:ignore floateq fixture: exact compare against a sentinel, not computed arithmetic
+	return a == float64(time.Now().Unix()) // want "wall-clock call time.Now"
+}
+
+// A suppression above a multi-line statement covers every line the
+// statement spans — both wall-clock reads inside the literal.
+func spanned() []int64 {
+	//iolint:ignore walltime fixture: exercises statement-span suppression
+	out := []int64{
+		time.Now().Unix(),
+		time.Now().UnixNano(),
+	}
+	return out
+}
+
+// A chain-style finding is suppressed only by naming its rule; naming a
+// different rule covers nothing.
+func wrongRule() int64 {
+	//iolint:ignore maporder fixture: wrong rule on purpose
+	return time.Now().Unix() // want "wall-clock call time.Now"
+}

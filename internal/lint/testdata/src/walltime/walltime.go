@@ -10,8 +10,8 @@ var t0 = time.Now() // want "[walltime] wall-clock call time.Now"
 func waits() {
 	time.Sleep(time.Millisecond) // want "[walltime] wall-clock call time.Sleep"
 	_ = time.Since(t0)           // want "[walltime] wall-clock call time.Since"
-	<-time.After(0)              // want "[walltime] wall-clock call time.After"
-	select {
+	<-time.After(0)              // want "[walltime] wall-clock call time.After" "[goroutine] channel receive"
+	select { // want "[goroutine] select over channels"
 	case <-time.Tick(time.Second): // want "[walltime] wall-clock call time.Tick"
 	default:
 	}

@@ -1,7 +1,6 @@
 package lint
 
 import (
-	"go/ast"
 	"go/types"
 )
 
@@ -17,34 +16,33 @@ var walltimeFuncs = map[string]bool{
 
 var walltimeAnalyzer = &Analyzer{
 	Name: "walltime",
-	Doc: "forbid wall-clock reads (time.Now/Sleep/Since/After/...) in " +
-		"simulation packages; all time must flow from des.Time",
-	Run: func(p *Package) []Diagnostic {
-		if !isSimPackage(p.Path) {
-			return nil
-		}
+	Doc: "forbid any call path from a simulation entry point to " +
+		"time.Now/Sleep/Since/After/... through any number of packages; " +
+		"all time must flow from des.Time",
+	Run: func(prog *Program, p *Package) []Diagnostic {
 		var diags []Diagnostic
-		for _, f := range p.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
+		for _, n := range prog.reachableDeclared(p) {
+			for _, e := range n.edges {
+				fn := e.to.fn
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					continue
 				}
-				fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
-				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
-					return true
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					continue
 				}
-				if fn.Type().(*types.Signature).Recv() != nil || !walltimeFuncs[fn.Name()] {
-					return true
+				if !walltimeFuncs[fn.Name()] {
+					continue
 				}
+				chain := n.chainTo(e.to.disp)
 				diags = append(diags, Diagnostic{
-					Pos:  p.Fset.Position(sel.Pos()),
-					Rule: "walltime",
+					Pos:   e.pos,
+					Rule:  "walltime",
+					Chain: chain,
 					Message: "wall-clock call time." + fn.Name() +
-						" in simulation package; derive time from des.Time so results stay a pure function of config",
+						" is sim-reachable (" + renderChain(chain) +
+						"); derive time from des.Time so results stay a pure function of config",
 				})
-				return true
-			})
+			}
 		}
 		return diags
 	},

@@ -65,6 +65,7 @@ type Bucket struct {
 // Buckets returns the populated buckets in ascending order.
 func (h *Histogram) Buckets() []Bucket {
 	keys := make([]int, 0, len(h.counts))
+	//iolint:ignore maporder keys are collected then sort.Ints'd before any use, so the returned bucket order is independent of map iteration order
 	for k := range h.counts {
 		keys = append(keys, k)
 	}
@@ -117,6 +118,7 @@ type histogramWire struct {
 func (h Histogram) MarshalBinary() ([]byte, error) {
 	w := histogramWire{Total: h.total, Sum: h.sum, Min: h.min, Max: h.max}
 	w.Buckets = make([]int, 0, len(h.counts))
+	//iolint:ignore maporder bucket keys are sort.Ints'd before encoding, so the wire bytes are a pure function of the histogram contents
 	for k := range h.counts {
 		w.Buckets = append(w.Buckets, k)
 	}

@@ -97,6 +97,7 @@ func (r *Rank) Split(color int) *Comm {
 		// Last arrival builds all communicators and releases everyone.
 		st.comms = make(map[int]*Comm)
 		byColor := make(map[int][]int)
+		//iolint:ignore maporder each color's rank list is sort.Ints'd below before communicator construction, so rank order inside a communicator never depends on map iteration
 		for id, col := range st.colors {
 			byColor[col] = append(byColor[col], id)
 		}
