@@ -3,11 +3,13 @@
 
 GO ?= go
 
-# Kernel hot-path benchmark settings shared by bench, bench-json and
-# bench-check. Fixed -benchtime with -count repetitions replaces the old
-# noisy -benchtime=1x: iobenchdiff collapses the repetitions to the
-# per-metric minimum, so one slow run cannot fake a regression.
-BENCH_PKGS      = ./internal/des ./internal/pfs
+# Hot-path benchmark settings shared by bench, bench-json and
+# bench-check: the DES/PFS kernels plus the ingest edge (the binary
+# frame codec in tmio and the gateway's two protocol read loops). Fixed
+# -benchtime with -count repetitions replaces the old noisy
+# -benchtime=1x: iobenchdiff collapses the repetitions to the per-metric
+# minimum, so one slow run cannot fake a regression.
+BENCH_PKGS      = ./internal/des ./internal/pfs ./internal/tmio ./internal/gateway
 BENCH_TIME     ?= 200ms
 BENCH_COUNT    ?= 5
 NS_THRESHOLD   ?= 0.10

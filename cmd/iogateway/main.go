@@ -1,5 +1,6 @@
 // Command iogateway runs the live telemetry gateway: a long-running
-// collector that accepts TMIO stream connections (JSON lines over TCP),
+// collector that accepts TMIO stream connections (JSON lines or binary
+// frames over TCP, sniffed per connection — see docs/STREAM_FORMAT.md),
 // aggregates each application's B/B_L/T series online, and serves them —
 // plus FTIO next-burst predictions and Prometheus metrics — over HTTP:
 //
@@ -15,8 +16,9 @@
 //	GET /apps/{id}/predict    FTIO next-burst forecast
 //
 // With -smoke the command instead runs a self-contained end-to-end check
-// on ephemeral ports — gateway up, one traced simulation streamed in,
-// HTTP surface probed — and exits 0/1. Used by `make gateway-smoke`.
+// on ephemeral ports — gateway up, one traced simulation streamed in per
+// protocol (JSON lines and binary frames), HTTP surface probed — and
+// exits 0/1. Used by `make gateway-smoke`.
 package main
 
 import (
@@ -90,8 +92,10 @@ func main() {
 }
 
 // runSmoke exercises the whole pipeline in-process: gateway on ephemeral
-// ports, a traced phased simulation streaming into it, and the HTTP
-// surface queried for the resulting series and forecast.
+// ports, one traced phased simulation streamed in per wire protocol
+// (JSON lines and binary frames, so the sniffing path and both read
+// loops are covered end to end), and the HTTP surface queried for the
+// resulting series and forecast.
 func runSmoke(queue int) error {
 	srv := gateway.New(gateway.Config{QueueDepth: queue})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -108,33 +112,44 @@ func runSmoke(queue int) error {
 	go web.Serve(webLn)
 	base := "http://" + webLn.Addr().String()
 
-	// One periodic checkpointing app, streamed live. A slow file system
-	// gives the write bursts real width (~250 ms in each ~2 s period), so
-	// the binned FTIO signal sees them.
-	sim := iobehind.NewSim(iobehind.Options{
-		Ranks: 4,
-		FS:    &iobehind.FSConfig{WriteCapacity: 256e6, ReadCapacity: 256e6},
-	})
-	sink, err := tmio.DialSinkWith(ln.Addr().String(), tmio.SinkOptions{AppID: "smoke"})
-	if err != nil {
+	// One periodic checkpointing app per wire protocol, streamed live.
+	// A slow file system gives the write bursts real width (~250 ms in
+	// each ~2 s period), so the binned FTIO signal sees them.
+	streamApp := func(appID string, binary bool) error {
+		sim := iobehind.NewSim(iobehind.Options{
+			Ranks: 4,
+			FS:    &iobehind.FSConfig{WriteCapacity: 256e6, ReadCapacity: 256e6},
+		})
+		sink, err := tmio.DialSinkWith(ln.Addr().String(), tmio.SinkOptions{AppID: appID, Binary: binary})
+		if err != nil {
+			return err
+		}
+		sim.Tracer.SetSink(sink)
+		if _, err := sim.Run(iobehind.PhasedMain(sim.IO, iobehind.PhasedConfig{
+			Phases:        10,
+			BytesPerPhase: 16 << 20,
+			Compute:       2 * iobehind.Second,
+		})); err != nil {
+			return err
+		}
+		if err := sink.Close(); err != nil {
+			return fmt.Errorf("sink close (%s): %w", appID, err)
+		}
+		return nil
+	}
+	if err := streamApp("smoke", false); err != nil {
 		return err
 	}
-	sim.Tracer.SetSink(sink)
-	if _, err := sim.Run(iobehind.PhasedMain(sim.IO, iobehind.PhasedConfig{
-		Phases:        10,
-		BytesPerPhase: 16 << 20,
-		Compute:       2 * iobehind.Second,
-	})); err != nil {
+	if err := streamApp("smoke-bin", true); err != nil {
 		return err
-	}
-	if err := sink.Close(); err != nil {
-		return fmt.Errorf("sink close: %w", err)
 	}
 
-	// Wait for the ingest side to drain the connection.
+	// Wait for the ingest side to drain both connections.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if info, ok := srv.AppInfo("smoke"); ok && info.Records > 0 && srv.Stats().ConnsActive == 0 {
+		info, ok := srv.AppInfo("smoke")
+		binInfo, binOK := srv.AppInfo("smoke-bin")
+		if ok && binOK && info.Records > 0 && binInfo.Records == info.Records && srv.Stats().ConnsActive == 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -173,6 +188,26 @@ func runSmoke(queue int) error {
 	}
 	if len(series.B) == 0 {
 		return fmt.Errorf("empty B series: %s", body)
+	}
+	// The binary-protocol run is the same deterministic simulation, so
+	// its online series must match the JSON-protocol run point for point.
+	binBody, err := get("/apps/smoke-bin/series")
+	if err != nil {
+		return err
+	}
+	var binSeries struct {
+		B []struct{ T, V float64 } `json:"b"`
+	}
+	if err := json.Unmarshal([]byte(binBody), &binSeries); err != nil {
+		return fmt.Errorf("binary series JSON: %w", err)
+	}
+	if len(binSeries.B) != len(series.B) {
+		return fmt.Errorf("binary B series has %d steps, JSON has %d", len(binSeries.B), len(series.B))
+	}
+	for i := range series.B {
+		if binSeries.B[i] != series.B[i] {
+			return fmt.Errorf("binary B series diverges at step %d: %+v vs %+v", i, binSeries.B[i], series.B[i])
+		}
 	}
 	body, err = get("/apps/smoke/predict")
 	if err != nil {

@@ -7,10 +7,12 @@
 // file, and has been combined with FTIO (frequency techniques for I/O) to
 // detect an application's I/O phases online. This example wires the whole
 // loop up: an in-process gateway (internal/gateway, the same server
-// cmd/iogateway runs standalone) ingests the per-phase records as JSON
-// lines while a WaComM++ simulation streams them, and its HTTP API is
-// polled for the application's online B/B_L/T series and the FTIO
-// next-burst forecast — the view a scheduler would act on mid-run.
+// cmd/iogateway runs standalone) ingests the per-phase records over the
+// zero-copy binary frame protocol (docs/STREAM_FORMAT.md; the gateway
+// sniffs it apart from JSON lines per connection) while a WaComM++
+// simulation streams them, and its HTTP API is polled for the
+// application's online B/B_L/T series and the FTIO next-burst forecast —
+// the view a scheduler would act on mid-run.
 package main
 
 import (
@@ -47,7 +49,7 @@ func main() {
 		FS:     &iobehind.FSConfig{WriteCapacity: 64e6, ReadCapacity: 64e6},
 		Tracer: iobehind.TracerConfig{StreamID: "wacomm"},
 	})
-	sink, err := tmio.DialSinkWith(ln.Addr().String(), tmio.SinkOptions{})
+	sink, err := tmio.DialSinkWith(ln.Addr().String(), tmio.SinkOptions{Binary: true})
 	if err != nil {
 		log.Fatal(err)
 	}

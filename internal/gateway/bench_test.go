@@ -1,0 +1,95 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"iobehind/internal/tmio"
+)
+
+// replayConn is a net.Conn that serves a pre-built byte stream from
+// memory, so the ingest benchmark measures the protocol loops (framing,
+// decode, enqueue) rather than loopback socket syscalls.
+type replayConn struct {
+	r *bytes.Reader
+}
+
+func (c *replayConn) Read(p []byte) (int, error)         { return c.r.Read(p) }
+func (c *replayConn) Write(p []byte) (int, error)        { return len(p), nil }
+func (c *replayConn) Close() error                       { return nil }
+func (c *replayConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *replayConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *replayConn) SetDeadline(t time.Time) error      { return nil }
+func (c *replayConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *replayConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// BenchmarkIngest compares the gateway's two ingest decode paths over
+// the same records: the JSON-lines loop every producer spoke before the
+// binary format, and the frame loop. One op replays a whole connection
+// carrying benchRecsPerConn records into a discarding enqueue, so ns/op
+// is the read-loop cost and records/s is directly comparable across the
+// sub-benchmarks. Guarded by BENCH_baseline.json via make bench-check;
+// the binary path's records/s is the tentpole win (≥ 5× JSON).
+func BenchmarkIngest(b *testing.B) {
+	const benchRecsPerConn = 4096
+	recs := make([]tmio.StreamRecord, benchRecsPerConn)
+	for i := range recs {
+		recs[i] = tmio.StreamRecord{
+			V: tmio.StreamVersion, App: "bench", Rank: i % 8, Phase: i / 8,
+			TsSec: float64(i), TeSec: float64(i) + 0.5,
+			B: 1e8, BL: 9e7, T: 8e7,
+			TtsSec: float64(i) + 0.1, TteSec: float64(i) + 0.4,
+		}
+	}
+
+	var jsonPayload bytes.Buffer
+	enc := json.NewEncoder(&jsonPayload)
+	for _, rec := range recs {
+		enc.Encode(rec)
+	}
+	var framePayload []byte
+	for off := 0; off < len(recs); off += 256 {
+		end := off + 256
+		if end > len(recs) {
+			end = len(recs)
+		}
+		frame, err := tmio.EncodeFrame(recs[off:end])
+		if err != nil {
+			b.Fatal(err)
+		}
+		framePayload = append(framePayload, frame...)
+	}
+
+	s := New(Config{})
+	run := func(payload []byte, binary bool) func(*testing.B) {
+		return func(b *testing.B) {
+			got := 0
+			discard := func(rec tmio.StreamRecord) { got++ }
+			b.ReportAllocs()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				conn := &replayConn{r: bytes.NewReader(payload)}
+				r := bufio.NewReaderSize(conn, 64<<10)
+				if binary {
+					s.serveFrames(conn, r, "bench", discard)
+				} else {
+					s.serveLines(conn, r, "bench", discard)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if got != b.N*benchRecsPerConn {
+				b.Fatalf("decoded %d records, want %d", got, b.N*benchRecsPerConn)
+			}
+			b.ReportMetric(float64(got)/elapsed.Seconds(), "records/s")
+		}
+	}
+	b.Run("json", run(jsonPayload.Bytes(), false))
+	b.Run("binary", run(framePayload, true))
+}

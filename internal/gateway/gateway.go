@@ -1,6 +1,7 @@
 // Package gateway implements the collector half of TMIO's streaming mode:
 // a long-running telemetry service that accepts many concurrent TCP
-// connections speaking the JSON-lines tmio.StreamRecord protocol,
+// connections speaking the tmio.StreamRecord protocol — binary frames or
+// JSON lines, sniffed per connection (docs/STREAM_FORMAT.md) —
 // aggregates each application's rank phases online (the Eq. 3 sweep and
 // FTIO period detection run *while* the applications run), and serves the
 // results over HTTP — per-app B/B_L/T step series, next-burst predictions,
@@ -23,6 +24,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -98,7 +100,6 @@ type Server struct {
 
 	connSeq      atomic.Int64
 	connsTotal   atomic.Int64
-	connsActive  atomic.Int64
 	ingested     atomic.Int64
 	dropped      atomic.Int64
 	decodeErrors atomic.Int64
@@ -149,7 +150,6 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		s.mu.Unlock()
 		s.connsTotal.Add(1)
-		s.connsActive.Add(1)
 		go s.handle(c)
 	}
 }
@@ -197,7 +197,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Stats snapshots the ingest counters.
+// Stats snapshots the ingest counters. ConnsActive is derived from the
+// connection set itself — the single source of truth that Serve adds to
+// and handle deletes from — so it can never disagree with the set the
+// way a separately maintained counter transiently could.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	active := int64(len(s.conns))
@@ -214,17 +217,21 @@ func (s *Server) Stats() Stats {
 }
 
 // handle runs one ingest connection: a reader goroutine (this one) that
-// parses lines into a bounded queue with drop-oldest backpressure, and a
-// consumer goroutine that feeds the aggregation registry. The consumer
-// always drains the queue before the connection is released, so shutdown
-// never discards records that were already accepted.
+// parses frames or lines into a bounded queue with drop-oldest
+// backpressure, and a consumer goroutine that feeds the aggregation
+// registry. The consumer always drains the queue before the connection
+// is released, so shutdown never discards records that were already
+// accepted.
+//
+// The protocol is sniffed from the first two bytes: the binary frame
+// magic can never begin a JSON line, so new producers speak frames and
+// old producers fall back to JSON lines on the same listener.
 func (s *Server) handle(c net.Conn) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
-		s.connsActive.Add(-1)
 		c.Close()
 	}()
 
@@ -248,28 +255,7 @@ func (s *Server) handle(c net.Conn) {
 		}
 	}()
 
-	sc := bufio.NewScanner(c)
-	sc.Buffer(make([]byte, 0, 64<<10), s.cfg.MaxLineBytes)
-	for {
-		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		if !sc.Scan() {
-			if err := sc.Err(); err != nil {
-				s.logf("gateway: %s: read: %v", fallbackID, err)
-			}
-			break
-		}
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		// Unknown fields and future schema versions are tolerated,
-		// truncated or torn lines rejected — see tmio.DecodeStreamRecord,
-		// the fuzz-tested decode path shared with every other consumer.
-		rec, err := tmio.DecodeStreamRecord(line)
-		if err != nil {
-			s.decodeErrors.Add(1)
-			continue
-		}
+	enqueue := func(rec tmio.StreamRecord) {
 		select {
 		case queue <- rec:
 		default:
@@ -287,8 +273,116 @@ func (s *Server) handle(c net.Conn) {
 			}
 		}
 	}
+
+	r := bufio.NewReaderSize(c, 64<<10)
+	c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	first, _ := r.Peek(2)
+	if tmio.SniffBinary(first) {
+		s.serveFrames(c, r, fallbackID, enqueue)
+	} else {
+		s.serveLines(c, r, fallbackID, enqueue)
+	}
 	close(queue)
 	<-drained
+}
+
+// serveFrames is the binary ingest loop: fixed header, validated length
+// prefix, payload into a pooled buffer, then the shared fuzz-tested
+// tmio.DecodeFrame. A bad header is connection-fatal (without a
+// trustworthy length there is no resync point), but a bad payload is
+// not: the frame boundary was sound, so the stream resynchronizes at
+// the next header.
+func (s *Server) serveFrames(c net.Conn, r *bufio.Reader, fallbackID string, enqueue func(tmio.StreamRecord)) {
+	hdr := make([]byte, tmio.FrameHeaderLen)
+	buf := tmio.GetFrameBuf(64 << 10)
+	defer func() { tmio.PutFrameBuf(buf) }()
+	recs := make([]tmio.StreamRecord, 0, 256)
+	for {
+		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err != io.EOF {
+				s.logf("gateway: %s: read: %v", fallbackID, err)
+			}
+			return
+		}
+		payload, _, err := tmio.FrameInfo(hdr)
+		if err != nil {
+			s.decodeErrors.Add(1)
+			s.logf("gateway: %s: frame: %v", fallbackID, err)
+			return
+		}
+		buf = tmio.GrowFrameBuf(buf, tmio.FrameHeaderLen+payload)
+		frame := (*buf)[:tmio.FrameHeaderLen+payload]
+		copy(frame, hdr)
+		if _, err := io.ReadFull(r, frame[tmio.FrameHeaderLen:]); err != nil {
+			s.logf("gateway: %s: read: %v", fallbackID, err)
+			return
+		}
+		recs, _, err = tmio.DecodeFrame(recs[:0], frame)
+		if err != nil {
+			s.decodeErrors.Add(1)
+			continue
+		}
+		for _, rec := range recs {
+			enqueue(rec)
+		}
+	}
+}
+
+// serveLines is the JSON-lines ingest loop. Unlike the bufio.Scanner it
+// replaces, an oversized line (> MaxLineBytes) is not connection-fatal:
+// the loop discards bytes up to the next newline, counts one decode
+// error, and keeps reading — one misbehaving print must not silence a
+// producer's whole remaining run.
+func (s *Server) serveLines(c net.Conn, r *bufio.Reader, fallbackID string, enqueue func(tmio.StreamRecord)) {
+	var line []byte
+	for {
+		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		line = line[:0]
+		tooLong := false
+		var rerr error
+		for {
+			chunk, err := r.ReadSlice('\n')
+			if !tooLong {
+				if len(line)+len(chunk) > s.cfg.MaxLineBytes {
+					tooLong = true
+					line = line[:0]
+				} else {
+					line = append(line, chunk...)
+				}
+			}
+			if err == bufio.ErrBufferFull {
+				continue // no newline yet: keep accumulating (or skipping)
+			}
+			rerr = err
+			break
+		}
+		if tooLong {
+			s.decodeErrors.Add(1)
+			s.logf("gateway: %s: line exceeds %d bytes, skipped", fallbackID, s.cfg.MaxLineBytes)
+		}
+		if rerr != nil && rerr != io.EOF {
+			s.logf("gateway: %s: read: %v", fallbackID, rerr)
+			return
+		}
+		if !tooLong {
+			if trimmed := bytes.TrimSpace(line); len(trimmed) != 0 {
+				// Unknown fields and future schema versions are tolerated,
+				// truncated or torn lines rejected — see
+				// tmio.DecodeStreamRecord, the fuzz-tested decode path
+				// shared with every other consumer.
+				rec, err := tmio.DecodeStreamRecord(trimmed)
+				if err != nil {
+					s.decodeErrors.Add(1)
+				} else {
+					enqueue(rec)
+				}
+			}
+		}
+		if rerr != nil {
+			return // EOF after processing the final (unterminated) line
+		}
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {

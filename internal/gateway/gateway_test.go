@@ -66,8 +66,9 @@ func (s teeSink) Emit(rec tmio.StreamRecord) error {
 func (s teeSink) Close() error { return s.tcp.Close() }
 
 // runStreamingApp runs one traced simulation that streams every phase to
-// the gateway, returning the locally collected copy of the records.
-func runStreamingApp(t *testing.T, addr, appID string, seed int64, ranks, phases int, bytes int64) *tmio.CollectSink {
+// the gateway — over binary frames or JSON lines — returning the locally
+// collected copy of the records.
+func runStreamingApp(t *testing.T, addr, appID string, seed int64, ranks, phases int, bytes int64, binary bool) *tmio.CollectSink {
 	t.Helper()
 	e := des.NewEngine(seed)
 	w := mpi.NewWorld(e, mpi.Config{Size: ranks})
@@ -77,7 +78,7 @@ func runStreamingApp(t *testing.T, addr, appID string, seed int64, ranks, phases
 		DisableOverhead: true,
 		Strategy:        tmio.StrategyConfig{Strategy: tmio.Direct, Tol: 1.5},
 	})
-	tcp, err := tmio.DialSinkWith(addr, tmio.SinkOptions{AppID: appID})
+	tcp, err := tmio.DialSinkWith(addr, tmio.SinkOptions{AppID: appID, Binary: binary})
 	if err != nil {
 		t.Errorf("%s: dial: %v", appID, err)
 		return nil
@@ -131,9 +132,11 @@ func sameSeries(a, b *metrics.Series) error {
 }
 
 // TestConcurrentAppsOnlineMatchesOffline is the end-to-end acceptance
-// test: four concurrent simulated applications stream into one gateway;
-// for each app the gateway's online B/B_L/T step series must equal the
-// offline region sweep over the very same records.
+// test: four concurrent simulated applications — two speaking binary
+// frames, two speaking JSON lines, all into the same listener — and for
+// each app the gateway's online B/B_L/T step series must equal the
+// offline region sweep over the very same records, whichever protocol
+// carried them.
 func TestConcurrentAppsOnlineMatchesOffline(t *testing.T) {
 	s, addr, stop := startGateway(t, Config{})
 	defer stop()
@@ -146,7 +149,7 @@ func TestConcurrentAppsOnlineMatchesOffline(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			collects[i] = runStreamingApp(t, addr, fmt.Sprintf("app-%d", i),
-				int64(i+1), 2, 5+i, int64(i+1)*5e6)
+				int64(i+1), 2, 5+i, int64(i+1)*5e6, i%2 == 0)
 		}(i)
 	}
 	wg.Wait()
@@ -219,6 +222,140 @@ func recordLine(app string, rank, phase int, ts, te, b float64) string {
 	return string(buf)
 }
 
+// TestOversizedLineKeepsConnection is the regression test for the
+// ErrTooLong bug: one line over MaxLineBytes used to kill the whole
+// ingest connection (bufio.Scanner gives up, the read loop exits), and
+// with it every later record from that producer. The gateway must skip
+// to the next newline, count one decode error, and keep reading.
+func TestOversizedLineKeepsConnection(t *testing.T) {
+	s, addr, stop := startGateway(t, Config{})
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	write := func(data string) {
+		t.Helper()
+		if _, err := conn.Write([]byte(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(recordLine("huge", 0, 0, 0, 0.5, 10) + "\n")
+	// 2 MiB on one line, twice the default MaxLineBytes.
+	write(`{"app":"huge","junk":"` + strings.Repeat("x", 2<<20) + `"}` + "\n")
+	write(recordLine("huge", 0, 1, 1, 1.5, 10) + "\n")
+	write(recordLine("huge", 0, 2, 2, 2.5, 10) + "\n")
+
+	waitFor(t, "records after the oversized line", func() bool {
+		return s.Stats().Ingested == 3
+	})
+	st := s.Stats()
+	if st.DecodeErrors != 1 {
+		t.Fatalf("decode errors = %d, want 1 (the oversized line)", st.DecodeErrors)
+	}
+	if st.ConnsActive != 1 {
+		t.Fatalf("conns active = %d: the connection did not survive", st.ConnsActive)
+	}
+	info, ok := s.AppInfo("huge")
+	if !ok || info.Records != 3 {
+		t.Fatalf("app info = %+v ok=%v", info, ok)
+	}
+}
+
+// writeFrame encodes recs as one binary frame and writes it to conn.
+func writeFrame(t *testing.T, conn net.Conn, recs []tmio.StreamRecord) {
+	t.Helper()
+	buf, err := tmio.EncodeFrame(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrameResyncAfterBadPayload: a frame whose header is sound but
+// whose payload fails to decode costs one decode error, not the
+// connection — the validated length prefix is the resync point.
+func TestFrameResyncAfterBadPayload(t *testing.T) {
+	s, addr, stop := startGateway(t, Config{})
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	writeFrame(t, conn, []tmio.StreamRecord{{App: "resync", Rank: 0, Phase: 0, TeSec: 0.5, B: 1}})
+	// Corrupt a frame's first record-length prefix so DecodeFrame rejects
+	// the payload; header and length stay valid.
+	bad, err := tmio.EncodeFrame([]tmio.StreamRecord{{App: "resync", Rank: 0, Phase: 1, TeSec: 1.5, B: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad[tmio.FrameHeaderLen] = 1 // recLen = 1: below the v1 minimum
+	bad[tmio.FrameHeaderLen+1] = 0
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	writeFrame(t, conn, []tmio.StreamRecord{{App: "resync", Rank: 0, Phase: 2, TeSec: 2.5, B: 1}})
+
+	waitFor(t, "frames after the corrupt payload", func() bool {
+		return s.Stats().Ingested == 2
+	})
+	st := s.Stats()
+	if st.DecodeErrors != 1 {
+		t.Fatalf("decode errors = %d, want 1", st.DecodeErrors)
+	}
+	if st.ConnsActive != 1 {
+		t.Fatalf("conns active = %d: the connection did not survive", st.ConnsActive)
+	}
+}
+
+// TestBinaryReconnectMidStream: one application delivers half its
+// records, loses the connection, and reconnects to deliver the rest —
+// the gateway's online series must still equal the offline sweep over
+// all the records (the mid-stream-reconnect acceptance case).
+func TestBinaryReconnectMidStream(t *testing.T) {
+	s, addr, stop := startGateway(t, Config{})
+	defer stop()
+
+	const phases = 10
+	all := make([]tmio.StreamRecord, phases)
+	for j := range all {
+		all[j] = tmio.StreamRecord{V: tmio.StreamVersion, App: "reconn", Rank: 0, Phase: j,
+			TsSec: float64(j), TeSec: float64(j) + 0.5, B: 1e6 * float64(j+1)}
+	}
+	for _, half := range [][]tmio.StreamRecord{all[:phases/2], all[phases/2:]} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeFrame(t, conn, half)
+		conn.Close()
+	}
+	waitFor(t, "both halves ingested", func() bool {
+		info, ok := s.AppInfo("reconn")
+		return ok && info.Records == phases
+	})
+	series, ok := s.AppSeries("reconn")
+	if !ok {
+		t.Fatal("missing series")
+	}
+	var bPh []region.Phase
+	for _, rec := range all {
+		bPh = append(bPh, RecordPhase(rec))
+	}
+	if err := sameSeries(series.B, region.Sweep("B", bPh)); err != nil {
+		t.Fatalf("B series after reconnect: %v", err)
+	}
+	if st := s.Stats(); st.DecodeErrors != 0 || st.ConnsTotal != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 // TestShutdownDrainsQueuedRecords: records accepted before shutdown must
 // be aggregated even when the consumer is slow — graceful drain, not
 // abandonment.
@@ -250,8 +387,14 @@ func TestShutdownDrainsQueuedRecords(t *testing.T) {
 	if err := <-served; err != nil {
 		t.Fatalf("serve: %v", err)
 	}
-	if got := s.Stats().Ingested; got != n {
-		t.Fatalf("ingested %d of %d queued records across shutdown", got, n)
+	st := s.Stats()
+	if st.Ingested != n {
+		t.Fatalf("ingested %d of %d queued records across shutdown", st.Ingested, n)
+	}
+	// After a drained shutdown the connection set — the one source of
+	// truth behind ConnsActive — must be empty.
+	if st.ConnsActive != 0 {
+		t.Fatalf("conns active = %d after shutdown, want 0", st.ConnsActive)
 	}
 }
 

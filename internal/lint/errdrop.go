@@ -8,10 +8,10 @@ import (
 // errdropAnalyzer guards two error-return contracts that the fuzzers and
 // the fabric's resume guarantee depend on:
 //
-//   - the three fuzz-tested decoders (tmio.DecodeStreamRecord,
-//     trace.DecodeRecord, fabric.DecodeMsg) promise a zero value exactly
-//     when they return an error; a caller that drops the error happily
-//     processes that zero value as data;
+//   - the four fuzz-tested decoders (tmio.DecodeStreamRecord,
+//     tmio.DecodeFrame, trace.DecodeRecord, fabric.DecodeMsg) promise a
+//     zero value exactly when they return an error; a caller that drops
+//     the error happily processes that zero value as data;
 //   - Close/Flush on files and buffered writers inside internal/fabric
 //     and internal/runner (the journal and cache write paths): an
 //     acceptance journaled but not durably written, or a cache entry
@@ -25,7 +25,7 @@ import (
 var errdropAnalyzer = &Analyzer{
 	Name: "errdrop",
 	Doc: "forbid discarding the error from the fuzz-tested decoders " +
-		"(tmio.DecodeStreamRecord, trace.DecodeRecord, fabric.DecodeMsg) and " +
+		"(tmio.DecodeStreamRecord, tmio.DecodeFrame, trace.DecodeRecord, fabric.DecodeMsg) and " +
 		"from Close/Flush on files and buffered writers in the fabric/runner " +
 		"journal and cache write paths",
 	Run: func(prog *Program, p *Package) []Diagnostic {
@@ -107,7 +107,7 @@ func staticCallee(p *Package, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
-// decoderName reports whether fn is one of the three fuzz-tested
+// decoderName reports whether fn is one of the four fuzz-tested
 // decoders, returning its display name.
 func decoderName(fn *types.Func) (string, bool) {
 	if fn.Pkg() == nil {
@@ -120,6 +120,8 @@ func decoderName(fn *types.Func) (string, bool) {
 	switch {
 	case fn.Name() == "DecodeStreamRecord" && pathIs(path, "internal/tmio"):
 		return "tmio.DecodeStreamRecord", true
+	case fn.Name() == "DecodeFrame" && pathIs(path, "internal/tmio"):
+		return "tmio.DecodeFrame", true
 	case fn.Name() == "DecodeRecord" && pathIs(path, "internal/trace"):
 		return "trace.DecodeRecord", true
 	case fn.Name() == "DecodeMsg" && pathIs(path, "internal/fabric"):

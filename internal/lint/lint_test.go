@@ -49,6 +49,8 @@ func TestAnalyzers(t *testing.T) {
 		{name: "goroutine-exempt", dir: "goroutine", path: "iobehind/internal/fabric", ignoreWants: true},
 		{name: "errdrop", dir: "errdrop", path: "iobehind/internal/fabric"},
 		{name: "errdrop-outside", dir: "errdrop", path: "iobehind/internal/gateway", ignoreWants: true},
+		{name: "errdropframe", dir: "errdropframe", path: "iobehind/internal/tmio"},
+		{name: "errdropframe-outside", dir: "errdropframe", path: "iobehind/internal/gateway", ignoreWants: true},
 		{name: "suppress-edge-cases", dir: "suppress", path: "iobehind/internal/metrics"},
 		{name: "cachekey", dir: "cachekey", path: "iobehind/internal/lintfixture"},
 		{name: "floateq", dir: "floateq", path: "iobehind/internal/region"},

@@ -1,0 +1,34 @@
+// Fixture for the errdrop rule's binary-frame half. Loaded under the
+// claimed import path iobehind/internal/tmio, where the local
+// DecodeFrame stands in for the real fuzz-tested frame decoder. Loaded
+// again under iobehind/internal/gateway, where the local function is
+// not the tmio decoder and nothing may be reported.
+package fixture
+
+import "os"
+
+type StreamRecord struct{ Rank int }
+
+// DecodeFrame mirrors the real frame decoder's contract: the returned
+// slice is truncated to its original length exactly when err != nil.
+func DecodeFrame(into []StreamRecord, b []byte) ([]StreamRecord, int, error) {
+	if len(b) == 0 {
+		return into, 0, os.ErrInvalid
+	}
+	return append(into, StreamRecord{Rank: int(b[0])}), 1, nil
+}
+
+func drops(b []byte) {
+	DecodeFrame(nil, b)               // want "discarded error from tmio.DecodeFrame"
+	recs, n, _ := DecodeFrame(nil, b) // want "error from tmio.DecodeFrame assigned to _"
+	_, _ = recs, n
+	defer DecodeFrame(nil, b) // want "discarded error from tmio.DecodeFrame"
+}
+
+func checked(b []byte) ([]StreamRecord, error) {
+	recs, _, err := DecodeFrame(nil, b)
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

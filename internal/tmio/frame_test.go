@@ -1,0 +1,272 @@
+package tmio
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// frameBatch builds a representative batch: several ranks and phases of
+// one app, fault marks and retries included, the shape TCPSink flushes.
+func frameBatch(n int) []StreamRecord {
+	recs := make([]StreamRecord, n)
+	for i := range recs {
+		recs[i] = StreamRecord{
+			V: StreamVersion, App: "hacc-run-1",
+			Rank: i % 8, Phase: i / 8,
+			TsSec: float64(i), TeSec: float64(i) + 0.5,
+			B: 1e8 + float64(i), BL: 9e7, T: 8e7,
+			TtsSec: float64(i) + 0.1, TteSec: float64(i) + 0.4,
+			Faulty: i%3 == 0, Retries: i % 5,
+		}
+	}
+	return recs
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 256} {
+		recs := frameBatch(n)
+		buf, err := EncodeFrame(recs)
+		if err != nil {
+			t.Fatalf("encode %d records: %v", n, err)
+		}
+		got, consumed, err := DecodeFrame(nil, buf)
+		if err != nil {
+			t.Fatalf("decode %d records: %v", n, err)
+		}
+		if consumed != len(buf) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(buf))
+		}
+		if len(got) != n {
+			t.Fatalf("decoded %d records, want %d", len(got), n)
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Fatalf("record %d changed in round trip: %+v -> %+v", i, recs[i], got[i])
+			}
+		}
+	}
+}
+
+// TestFrameAppendInto: DecodeFrame appends to the caller's slice and two
+// frames back-to-back decode sequentially by consumed offset — the
+// stream-reader pattern.
+func TestFrameAppendInto(t *testing.T) {
+	a, b := frameBatch(3), frameBatch(2)
+	buf, err := AppendFrame(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err = AppendFrame(buf, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]StreamRecord, 0, 8)
+	recs, n1, err := DecodeFrame(recs, buf)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("first frame: %d records, err %v", len(recs), err)
+	}
+	recs, n2, err := DecodeFrame(recs, buf[n1:])
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("second frame: %d records, err %v", len(recs), err)
+	}
+	if n1+n2 != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n1+n2, len(buf))
+	}
+}
+
+// TestFrameDecodeErrors: every rejection leaves the caller's slice at
+// its original length (zero-record-on-error, the same contract as
+// DecodeStreamRecord) and identifies the failure.
+func TestFrameDecodeErrors(t *testing.T) {
+	good, err := EncodeFrame(frameBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want string
+	}{
+		{"empty", nil, "short frame header"},
+		{"short header", good[:5], "short frame header"},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'x'; return b }), "bad frame magic"},
+		{"future frame version", mutate(func(b []byte) []byte { b[2] = FrameVersion + 1; return b }), "unknown binary frame version"},
+		{"truncated payload", good[:len(good)-3], "truncated frame"},
+		{"oversized payload claim", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], MaxFramePayload+1)
+			return b
+		}), "exceeds limit"},
+		{"count beyond payload", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 1000)
+			return b
+		}), "needs"},
+		{"record length torn", mutate(func(b []byte) []byte {
+			// Inflate the first record's length so it overruns the payload.
+			binary.LittleEndian.PutUint16(b[FrameHeaderLen:FrameHeaderLen+2], 60000)
+			return b
+		}), "overruns the frame payload"},
+		{"record below v1 minimum", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[FrameHeaderLen:FrameHeaderLen+2], 10)
+			return b
+		}), "below the v1 minimum"},
+	}
+	for _, tc := range cases {
+		prior := frameBatch(2)
+		recs, n, err := DecodeFrame(prior, tc.buf)
+		if err == nil {
+			t.Errorf("%s: decode succeeded", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if n != 0 || len(recs) != len(prior) {
+			t.Errorf("%s: error consumed %d bytes and left %d records (want 0, %d)", tc.name, n, len(recs), len(prior))
+		}
+	}
+	if errors.Is(func() error {
+		_, _, err := DecodeFrame(nil, mutate(func(b []byte) []byte { b[2] = 9; return b }))
+		return err
+	}(), ErrFrameVersion) == false {
+		t.Error("future frame version error does not unwrap to ErrFrameVersion")
+	}
+}
+
+// TestFrameForwardCompat: a record longer than v1's known fields (a
+// future writer's appended fields) decodes cleanly, with the extra
+// bytes skipped — the additive-growth rule, binary edition.
+func TestFrameForwardCompat(t *testing.T) {
+	rec := frameBatch(1)[0]
+	buf, err := EncodeFrame([]StreamRecord{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append 4 future bytes to the record and patch recLen + payloadLen.
+	buf = append(buf, 0xde, 0xad, 0xbe, 0xef)
+	recLen := binary.LittleEndian.Uint16(buf[FrameHeaderLen : FrameHeaderLen+2])
+	binary.LittleEndian.PutUint16(buf[FrameHeaderLen:FrameHeaderLen+2], recLen+4)
+	payload := binary.LittleEndian.Uint32(buf[4:8])
+	binary.LittleEndian.PutUint32(buf[4:8], payload+4)
+
+	got, n, err := DecodeFrame(nil, buf)
+	if err != nil {
+		t.Fatalf("future-field record rejected: %v", err)
+	}
+	if n != len(buf) || len(got) != 1 || got[0] != rec {
+		t.Fatalf("future-field decode: n=%d records=%+v", n, got)
+	}
+}
+
+func TestFrameEncodeRange(t *testing.T) {
+	for _, rec := range []StreamRecord{
+		{Rank: 1 << 40},
+		{Phase: -(1 << 40)},
+		{Retries: -1},
+		{V: 1 << 20},
+		{App: strings.Repeat("a", 1<<17)},
+	} {
+		if _, err := EncodeFrame([]StreamRecord{rec}); err == nil {
+			t.Errorf("record %+v encoded despite out-of-range field", rec)
+		}
+	}
+	// Too many records for one frame.
+	if _, err := AppendFrame(nil, make([]StreamRecord, MaxFrameRecords+1)); err == nil {
+		t.Error("oversized batch encoded")
+	}
+}
+
+// TestFrameBufPool: buffers cycle through their size class, growth
+// re-enters the pool, and oversize requests still work (unpooled).
+func TestFrameBufPool(t *testing.T) {
+	p := GetFrameBuf(100)
+	if cap(*p) < 100 {
+		t.Fatalf("cap %d < requested 100", cap(*p))
+	}
+	class := cap(*p)
+	*p = append(*p, 1, 2, 3)
+	PutFrameBuf(p)
+	q := GetFrameBuf(class)
+	if len(*q) != 0 {
+		t.Fatalf("pooled buffer returned with stale length %d", len(*q))
+	}
+	q = GrowFrameBuf(q, class+1)
+	if cap(*q) <= class {
+		t.Fatalf("GrowFrameBuf did not grow: cap %d", cap(*q))
+	}
+	PutFrameBuf(q)
+	huge := GetFrameBuf(FrameHeaderLen + MaxFramePayload + 1)
+	if cap(*huge) < FrameHeaderLen+MaxFramePayload+1 {
+		t.Fatal("oversize request under-allocated")
+	}
+	PutFrameBuf(huge) // no class match: dropped, must not panic
+	PutFrameBuf(nil)  // nil-safe
+}
+
+// TestFrameSteadyStateAllocs pins the hot-path contract: once the
+// buffer, the decode slice, and the app-name intern table are warm,
+// encode and decode allocate nothing.
+func TestFrameSteadyStateAllocs(t *testing.T) {
+	recs := frameBatch(64)
+	buf, err := EncodeFrame(recs) // warms the intern table for "hacc-run-1"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFrame(nil, buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := make([]byte, 0, 2*len(buf))
+	if n := testing.AllocsPerRun(50, func() {
+		var err error
+		enc, err = AppendFrame(enc[:0], recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("AppendFrame: %v allocs/op in steady state, want 0", n)
+	}
+	dec := make([]StreamRecord, 0, len(recs))
+	if n := testing.AllocsPerRun(50, func() {
+		var err error
+		dec, _, err = DecodeFrame(dec[:0], buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeFrame: %v allocs/op in steady state, want 0", n)
+	}
+}
+
+// BenchmarkFrameRoundTrip is the codec half of the ingest-path benchmark
+// pair (BenchmarkIngest in internal/gateway is the other): one 64-record
+// batch encoded into a reused buffer and decoded back into a reused
+// slice, the steady-state cycle of a sink flush plus a gateway read.
+// Guarded by BENCH_baseline.json via make bench-check: allocs/op must
+// stay 0.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	recs := frameBatch(64)
+	enc, err := EncodeFrame(recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc = enc[:0]
+	dec := make([]StreamRecord, 0, len(recs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err = AppendFrame(enc[:0], recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, _, err = DecodeFrame(dec[:0], enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(enc)))
+}

@@ -85,6 +85,12 @@ type SinkOptions struct {
 	// Seed drives the backoff jitter; defaults to 1 so tests are
 	// reproducible.
 	Seed int64
+	// Binary selects the binary frame encoding (docs/STREAM_FORMAT.md):
+	// each flush packs the whole batch into a pooled frame buffer and
+	// writes it with one syscall, with zero steady-state allocations.
+	// The default stays JSON lines; the gateway sniffs the first bytes
+	// of a connection and accepts either.
+	Binary bool
 }
 
 func (o SinkOptions) withDefaults() SinkOptions {
@@ -109,10 +115,11 @@ func (o SinkOptions) withDefaults() SinkOptions {
 	return o
 }
 
-// TCPSink streams JSON lines over a TCP connection.
+// TCPSink streams records over a TCP connection — JSON lines by
+// default, length-prefixed binary frames with SinkOptions.Binary.
 //
 // Emit never blocks on the network and never fails the application:
-// records go into a bounded in-memory queue that a background writer
+// records go into a bounded in-memory ring that a background writer
 // flushes to the collector. If the connection drops, the writer redials
 // with exponential backoff and jitter (when the sink was created with an
 // address) while the queue keeps absorbing records; once the queue is
@@ -123,18 +130,24 @@ type TCPSink struct {
 	addr string // redial target; empty when wrapping a foreign conn
 
 	mu      sync.Mutex
-	queue   []StreamRecord
+	ring    []StreamRecord // fixed-capacity drop-oldest queue, allocated on first use
+	head    int            // index of the oldest queued record
+	queued  int            // number of records currently queued
 	dropped uint64
 	closed  bool
-	lastErr error
+	lastErr error // last delivery error; a clean flush clears it
+	dropErr error // error behind the most recent drop; never cleared
 
 	wake chan struct{} // 1-buffered doorbell for the writer
 	done chan struct{} // closed by Close
 	wg   sync.WaitGroup
 
 	// Writer-goroutine state (no lock needed after construction).
-	conn net.Conn
-	rng  *rand.Rand
+	conn    net.Conn
+	rng     *rand.Rand
+	scratch []StreamRecord // reused takeBatch buffer, owned by the writer
+	jbuf    bytes.Buffer   // reused JSON-lines encode buffer
+	fbuf    *[]byte        // pooled binary frame buffer (Binary mode)
 
 	// dials counts connection attempts (observability; the redial-rate
 	// test asserts the backoff bounds it).
@@ -179,6 +192,11 @@ func NewTCPSinkWith(conn net.Conn, opts SinkOptions) *TCPSink {
 }
 
 func newSink(conn net.Conn, opts SinkOptions) *TCPSink {
+	// Floor the ring capacity here too: tests build sinks through newSink
+	// without withDefaults, and a zero-capacity ring could never queue.
+	if opts.BufferRecords <= 0 {
+		opts.BufferRecords = 4096
+	}
 	return &TCPSink{
 		opts: opts,
 		conn: conn,
@@ -208,12 +226,27 @@ func (s *TCPSink) Emit(rec StreamRecord) error {
 		s.mu.Unlock()
 		return ErrSinkClosed
 	}
-	if len(s.queue) >= s.opts.BufferRecords {
-		over := len(s.queue) - s.opts.BufferRecords + 1
-		s.queue = append(s.queue[:0], s.queue[over:]...)
-		s.dropped += uint64(over)
+	if s.ring == nil {
+		s.ring = make([]StreamRecord, s.opts.BufferRecords)
 	}
-	s.queue = append(s.queue, rec)
+	if s.queued == len(s.ring) {
+		// Drop-oldest is one head advance on the ring. (The previous slice
+		// queue shifted every element here, so a sustained-overflow
+		// producer paid O(n) per emit — O(n²) across the overflow.)
+		s.head++
+		if s.head == len(s.ring) {
+			s.head = 0
+		}
+		s.queued--
+		s.dropped++
+		s.dropErr = errSinkOverflow
+	}
+	i := s.head + s.queued
+	if i >= len(s.ring) {
+		i -= len(s.ring)
+	}
+	s.ring[i] = rec
+	s.queued++
 	s.mu.Unlock()
 	//iolint:ignore goroutine nonblocking wake of the sink's flusher goroutine: whether the send lands only affects trace delivery latency, never the simulated results the sink observes
 	select {
@@ -233,7 +266,9 @@ func (s *TCPSink) Dropped() uint64 {
 
 // Close drains the queue (one final flush attempt, bounded by the dial
 // and write timeouts), stops the writer, and closes the connection. It
-// returns the last delivery error if records could not be flushed.
+// returns a summary error whenever any records were dropped during the
+// sink's lifetime — a clean final flush does not erase earlier loss —
+// and otherwise the last delivery error, if any.
 func (s *TCPSink) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -246,6 +281,9 @@ func (s *TCPSink) Close() error {
 	s.wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dropped > 0 {
+		return fmt.Errorf("tmio: sink dropped %d records: %w", s.dropped, s.dropErr)
+	}
 	return s.lastErr
 }
 
@@ -255,6 +293,9 @@ func (s *TCPSink) writer() {
 	defer func() {
 		if s.conn != nil {
 			s.conn.Close()
+		}
+		if s.fbuf != nil {
+			PutFrameBuf(s.fbuf)
 		}
 	}()
 	for {
@@ -273,13 +314,24 @@ func (s *TCPSink) writer() {
 	}
 }
 
-// takeBatch pops the whole queue. final reports that Close was called:
+// takeBatch copies the whole queue into the writer's reused batch
+// buffer and empties the ring. final reports that Close was called:
 // after one more flush attempt the writer must exit.
 func (s *TCPSink) takeBatch() ([]StreamRecord, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	batch := s.queue
-	s.queue = nil
+	if cap(s.scratch) < s.queued {
+		s.scratch = make([]StreamRecord, 0, len(s.ring))
+	}
+	batch := s.scratch[:0]
+	first := len(s.ring) - s.head
+	if first > s.queued {
+		first = s.queued
+	}
+	batch = append(batch, s.ring[s.head:s.head+first]...)
+	batch = append(batch, s.ring[:s.queued-first]...)
+	s.scratch = batch
+	s.head, s.queued = 0, 0
 	return batch, s.closed
 }
 
@@ -295,13 +347,39 @@ func (s *TCPSink) flush(batch []StreamRecord, final bool) {
 		}
 		return
 	}
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, rec := range batch {
-		enc.Encode(rec) // cannot fail for this struct
+	var out []byte
+	if s.opts.Binary {
+		// Exact upper bound on the encoded size, so the pooled buffer
+		// never regrows mid-append and stays in its size class.
+		payload := 0
+		for i := range batch {
+			payload += 2 + recFixedLen + len(batch[i].App)
+		}
+		frames := 1 + payload/(MaxFramePayload-maxRecordWire)
+		if s.fbuf == nil {
+			s.fbuf = GetFrameBuf(payload + frames*FrameHeaderLen)
+		} else {
+			s.fbuf = GrowFrameBuf(s.fbuf, payload+frames*FrameHeaderLen)
+		}
+		buf, err := appendFrames((*s.fbuf)[:0], batch)
+		*s.fbuf = buf[:0]
+		if err != nil {
+			// A record outside the wire range cannot be represented; the
+			// batch is lost the same way a failed write loses it.
+			s.drop(batch, err)
+			return
+		}
+		out = buf
+	} else {
+		s.jbuf.Reset()
+		enc := json.NewEncoder(&s.jbuf)
+		for _, rec := range batch {
+			enc.Encode(rec) // cannot fail for this struct
+		}
+		out = s.jbuf.Bytes()
 	}
 	s.conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
-	if _, err := s.conn.Write(buf.Bytes()); err != nil {
+	if _, err := s.conn.Write(out); err != nil {
 		s.conn.Close()
 		s.conn = nil
 		s.drop(batch, err)
@@ -377,22 +455,46 @@ func (s *TCPSink) sleep(d time.Duration) bool {
 	}
 }
 
+// errSinkOverflow explains drops caused by the bounded queue itself —
+// the collector was too slow or down for too long — as opposed to a
+// failed write or an unencodable record.
+var errSinkOverflow = errors.New("tmio: sink buffer overflowed")
+
 func (s *TCPSink) drop(batch []StreamRecord, err error) {
 	s.mu.Lock()
 	s.dropped += uint64(len(batch))
 	s.lastErr = err
+	s.dropErr = err
 	s.mu.Unlock()
 }
 
+// requeue puts an unflushed batch back at the front of the ring (every
+// record queued since is newer), dropping the oldest records when the
+// combined set no longer fits. Writing into the ring in place replaces
+// the old slice-merge, which reallocated on every failed dial.
 func (s *TCPSink) requeue(batch []StreamRecord) {
 	s.mu.Lock()
-	merged := append(batch, s.queue...)
-	if over := len(merged) - s.opts.BufferRecords; over > 0 {
-		s.dropped += uint64(over)
-		merged = merged[over:]
+	defer s.mu.Unlock()
+	if s.ring == nil {
+		s.ring = make([]StreamRecord, s.opts.BufferRecords)
 	}
-	s.queue = merged
-	s.mu.Unlock()
+	if over := len(batch) + s.queued - len(s.ring); over > 0 {
+		s.dropped += uint64(over)
+		s.dropErr = errSinkOverflow
+		batch = batch[over:]
+	}
+	s.head -= len(batch)
+	if s.head < 0 {
+		s.head += len(s.ring)
+	}
+	for i := range batch {
+		j := s.head + i
+		if j >= len(s.ring) {
+			j -= len(s.ring)
+		}
+		s.ring[j] = batch[i]
+	}
+	s.queued += len(batch)
 }
 
 func (s *TCPSink) setErr(err error) {

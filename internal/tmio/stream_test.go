@@ -3,7 +3,9 @@ package tmio
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -86,6 +88,199 @@ func TestTracedAppSurvivesStalledCollector(t *testing.T) {
 	sink.Close()
 	if sink.Dropped() == 0 {
 		t.Fatal("expected drops with a 16-record buffer and 200 records")
+	}
+}
+
+// TestSinkCloseReportsDrops pins the Close contract: when records were
+// dropped at any point in the sink's lifetime, Close must say so even
+// if the final flush succeeds — a clean shutdown does not erase loss.
+func TestSinkCloseReportsDrops(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	sink := NewTCPSinkWith(client, SinkOptions{
+		BufferRecords: 4,
+		WriteTimeout:  20 * time.Millisecond,
+	})
+	// net.Pipe is unbuffered and the peer never reads: flushes time out,
+	// batches drop, then the 4-slot ring overflows too.
+	for i := 0; i < 100; i++ {
+		sink.Emit(StreamRecord{Rank: 0, Phase: i, B: 1})
+	}
+	// Drain the peer before Close so the final flush can succeed — the
+	// error must survive a successful last write.
+	go func() {
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	err := sink.Close()
+	if err == nil {
+		t.Fatalf("Close = nil after %d drops", sink.Dropped())
+	}
+	if !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("Close error %q does not mention the drops", err)
+	}
+}
+
+// TestSinkRingDropOldest drives the ring buffer directly (the writer
+// goroutine is never started, so the queue state is deterministic):
+// overflow drops exactly the oldest records, order is preserved across
+// the wrap, and requeue re-inserts an unflushed batch ahead of newer
+// records with the same oldest-first trimming.
+func TestSinkRingDropOldest(t *testing.T) {
+	s := newSink(nil, SinkOptions{BufferRecords: 4})
+	for i := 0; i < 10; i++ {
+		if err := s.Emit(StreamRecord{Phase: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	batch, _ := s.takeBatch()
+	if len(batch) != 4 {
+		t.Fatalf("batch = %d records, want 4", len(batch))
+	}
+	for i, rec := range batch {
+		if rec.Phase != 6+i {
+			t.Fatalf("batch[%d].Phase = %d, want %d (oldest-first order lost)", i, rec.Phase, 6+i)
+		}
+	}
+	// Two newer records arrive while the batch is in flight; the dial
+	// fails and the batch is requeued. The merged queue exceeds the ring,
+	// so the two oldest batch records go.
+	s.Emit(StreamRecord{Phase: 10})
+	s.Emit(StreamRecord{Phase: 11})
+	requeued := append([]StreamRecord(nil), batch...)
+	s.requeue(requeued)
+	if got := s.Dropped(); got != 8 {
+		t.Fatalf("dropped = %d after requeue overflow, want 8", got)
+	}
+	batch, _ = s.takeBatch()
+	want := []int{8, 9, 10, 11}
+	if len(batch) != len(want) {
+		t.Fatalf("batch = %d records, want %d", len(batch), len(want))
+	}
+	for i, rec := range batch {
+		if rec.Phase != want[i] {
+			t.Fatalf("batch[%d].Phase = %d, want %d", i, rec.Phase, want[i])
+		}
+	}
+	// The sink must still report the loss at Close even though the final
+	// queue state is clean.
+	if err := s.Close(); err == nil || !strings.Contains(err.Error(), "dropped 8") {
+		t.Fatalf("Close = %v, want the 8-record drop summary", err)
+	}
+}
+
+// frameServer is the binary twin of lineServer: it accepts connections
+// and decodes length-prefixed frames via the shared FrameInfo +
+// DecodeFrame path.
+type frameServer struct {
+	ln net.Listener
+
+	mu   sync.Mutex
+	recs []StreamRecord
+}
+
+func newFrameServer(t *testing.T) *frameServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skip("no loopback networking available:", err)
+	}
+	s := &frameServer{ln: ln}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.read(conn)
+		}
+	}()
+	return s
+}
+
+func (s *frameServer) read(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	hdr := make([]byte, FrameHeaderLen)
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return
+		}
+		payload, _, err := FrameInfo(hdr)
+		if err != nil {
+			return
+		}
+		if cap(buf) < FrameHeaderLen+payload {
+			buf = make([]byte, FrameHeaderLen+payload)
+		}
+		buf = buf[:FrameHeaderLen+payload]
+		copy(buf, hdr)
+		if _, err := io.ReadFull(r, buf[FrameHeaderLen:]); err != nil {
+			return
+		}
+		recs, _, err := DecodeFrame(nil, buf)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.recs = append(s.recs, recs...)
+		s.mu.Unlock()
+	}
+}
+
+func (s *frameServer) snapshot() []StreamRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]StreamRecord(nil), s.recs...)
+}
+
+// TestSinkBinaryDelivery: a Binary-mode sink delivers every record, in
+// order, AppID-stamped, over pooled frames — and Close is clean when
+// nothing was dropped.
+func TestSinkBinaryDelivery(t *testing.T) {
+	srv := newFrameServer(t)
+	defer srv.ln.Close()
+	sink, err := DialSinkWith(srv.ln.Addr().String(), SinkOptions{
+		AppID:  "bin-run",
+		Binary: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := sink.Emit(StreamRecord{Rank: i % 4, Phase: i, B: float64(i)}); err != nil {
+			t.Fatalf("emit %d: %v", i, err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var recs []StreamRecord
+	deadline := time.After(3 * time.Second)
+	for {
+		recs = srv.snapshot()
+		if len(recs) == n {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("delivered %d records, want %d", len(recs), n)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	for i, rec := range recs {
+		if rec.Phase != i || rec.App != "bin-run" || rec.V != StreamVersion {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
 	}
 }
 
