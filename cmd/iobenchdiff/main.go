@@ -29,9 +29,17 @@
 //
 // diff exits 1 when, for any benchmark present in both snapshots, the
 // new ns/op exceeds the old by more than -ns-threshold (fraction,
-// default 0.10) or the new allocs/op exceeds the old at all.
-// Benchmarks present in only one snapshot are reported but never fail
-// the check, so adding or retiring benchmarks does not break CI.
+// default 0.10) or the new allocs/op exceeds the old by more than
+// -allocs-slack (fraction, default 0 — any growth fails). The slack
+// exists for concurrent benchmarks whose allocation counts depend on
+// scheduler interleaving and flap a few percent run to run; it is
+// computed as floor(old*slack) extra allocations, so a benchmark pinned
+// at 0 allocs/op stays pinned at exactly 0 under any slack. New
+// benchmarks are reported but never fail. Benchmarks present in the
+// baseline but missing from the current run are reported as GONE and,
+// with -fail-missing (used by make bench-check), count as regressions —
+// otherwise deleting a guarded benchmark would silently drop its
+// coverage. Retiring one deliberately means refreshing the baseline.
 package main
 
 import (
@@ -244,11 +252,15 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	nsThreshold := fs.Float64("ns-threshold", 0.10,
 		"fail when new ns/op exceeds old by more than this fraction")
+	failMissing := fs.Bool("fail-missing", false,
+		"fail when a benchmark present in the baseline is missing from the current run")
+	allocsSlack := fs.Float64("allocs-slack", 0,
+		"tolerate allocs/op growth up to this fraction of the baseline (0 allocs stays exact)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: iobenchdiff diff [-ns-threshold F] old.json new.json")
+		fmt.Fprintln(stderr, "usage: iobenchdiff diff [-ns-threshold F] [-allocs-slack F] [-fail-missing] old.json new.json")
 		return 2
 	}
 	old, err := readSnapshot(fs.Arg(0))
@@ -261,7 +273,7 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "iobenchdiff:", err)
 		return 1
 	}
-	regressions := diff(old, cur, *nsThreshold, stdout)
+	regressions := diff(old, cur, *nsThreshold, *allocsSlack, *failMissing, stdout)
 	if regressions > 0 {
 		fmt.Fprintf(stderr, "iobenchdiff: %d regression(s) vs %s\n", regressions, fs.Arg(0))
 		return 1
@@ -283,8 +295,11 @@ func readSnapshot(path string) (*Snapshot, error) {
 
 // diff prints a comparison table and returns the number of regressions:
 // benchmarks whose ns/op grew past the threshold or whose allocs/op grew
-// at all. Benchmarks present in only one snapshot never count.
-func diff(old, cur *Snapshot, nsThreshold float64, w io.Writer) int {
+// past floor(old*allocsSlack) extra allocations (so any growth from a
+// 0-alloc baseline always fails). New benchmarks never count; baseline
+// benchmarks missing from the current run count only when failMissing is
+// set.
+func diff(old, cur *Snapshot, nsThreshold, allocsSlack float64, failMissing bool, w io.Writer) int {
 	oldBy := map[string]Benchmark{}
 	for _, b := range old.Benchmarks {
 		oldBy[b.Name] = b
@@ -307,7 +322,7 @@ func diff(old, cur *Snapshot, nsThreshold float64, w io.Writer) int {
 			reasons = append(reasons, fmt.Sprintf("ns/op +%.1f%% (limit +%.0f%%)",
 				100*(nb.NsPerOp/ob.NsPerOp-1), 100*nsThreshold))
 		}
-		if nb.AllocsPerOp > ob.AllocsPerOp {
+		if nb.AllocsPerOp > ob.AllocsPerOp+int64(float64(ob.AllocsPerOp)*allocsSlack) {
 			reasons = append(reasons, fmt.Sprintf("allocs/op %d -> %d",
 				ob.AllocsPerOp, nb.AllocsPerOp))
 		}
@@ -327,7 +342,12 @@ func diff(old, cur *Snapshot, nsThreshold float64, w io.Writer) int {
 	}
 	sort.Strings(gone)
 	for _, name := range gone {
-		fmt.Fprintf(w, "GONE  %s\n", name)
+		if failMissing {
+			fmt.Fprintf(w, "GONE  %s (guarded benchmark missing from current run)\n", name)
+			regressions++
+		} else {
+			fmt.Fprintf(w, "GONE  %s\n", name)
+		}
 	}
 	return regressions
 }

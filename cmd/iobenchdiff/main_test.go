@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -87,7 +89,7 @@ func TestDiffThresholds(t *testing.T) {
 		bench("added", 10, 0, 0), // only in cur: never fails
 	}}
 	var out bytes.Buffer
-	if got := diff(base, cur, 0.10, &out); got != 2 {
+	if got := diff(base, cur, 0.10, 0, false, &out); got != 2 {
 		t.Fatalf("regressions = %d, want 2\n%s", got, out.String())
 	}
 	text := out.String()
@@ -98,8 +100,84 @@ func TestDiffThresholds(t *testing.T) {
 	}
 	// Everything identical: no regressions.
 	out.Reset()
-	if got := diff(base, base, 0.10, &out); got != 0 {
+	if got := diff(base, base, 0.10, 0, false, &out); got != 0 {
 		t.Fatalf("self-diff regressions = %d\n%s", got, out.String())
+	}
+}
+
+// TestDiffAllocsSlack pins the slack semantics: a relative tolerance for
+// concurrent benchmarks whose allocation counts flap with scheduler
+// interleaving, with growth from a 0-alloc baseline failing under any
+// slack (floor(0*slack) is zero extra allocations).
+func TestDiffAllocsSlack(t *testing.T) {
+	base := &Snapshot{Label: "base", Benchmarks: []Benchmark{
+		bench("concurrent", 100, 64, 10000),
+		bench("zeroalloc", 100, 0, 0),
+	}}
+	cur := &Snapshot{Label: "cur", Benchmarks: []Benchmark{
+		bench("concurrent", 100, 64, 10400), // +4%
+		bench("zeroalloc", 100, 16, 1),      // 0 -> 1: always a regression
+	}}
+	var out bytes.Buffer
+	if got := diff(base, cur, 0.10, 0.05, false, &out); got != 1 {
+		t.Fatalf("slack regressions = %d, want 1 (zeroalloc only)\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op 0 -> 1") {
+		t.Fatalf("missing zeroalloc failure:\n%s", out.String())
+	}
+	// Past the slack the concurrent benchmark fails too.
+	out.Reset()
+	if got := diff(base, cur, 0.10, 0.03, false, &out); got != 2 {
+		t.Fatalf("tight-slack regressions = %d, want 2\n%s", got, out.String())
+	}
+}
+
+// TestDiffFailMissing pins the bench-check guard against silently
+// deleted benchmarks: with -fail-missing, a baseline entry absent from
+// the current run counts as a regression; without it, GONE stays
+// informational.
+func TestDiffFailMissing(t *testing.T) {
+	base := &Snapshot{Label: "base", Benchmarks: []Benchmark{
+		bench("kept", 100, 64, 4),
+		bench("deleted", 100, 64, 4),
+	}}
+	cur := &Snapshot{Label: "cur", Benchmarks: []Benchmark{
+		bench("kept", 100, 64, 4),
+	}}
+	var out bytes.Buffer
+	if got := diff(base, cur, 0.10, 0, true, &out); got != 1 {
+		t.Fatalf("fail-missing regressions = %d, want 1\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "GONE  deleted") {
+		t.Fatalf("missing GONE line:\n%s", out.String())
+	}
+	out.Reset()
+	if got := diff(base, cur, 0.10, 0, false, &out); got != 0 {
+		t.Fatalf("informational GONE counted as regression: %d\n%s", got, out.String())
+	}
+
+	// End-to-end through the flag surface.
+	dir := t.TempDir()
+	write := func(name string, s *Snapshot) string {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := dir + "/" + name
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath, curPath := write("base.json", base), write("cur.json", cur)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"diff", "-fail-missing", basePath, curPath}, nil, &stdout, &stderr); code != 1 {
+		t.Fatalf("diff -fail-missing exit = %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"diff", basePath, curPath}, nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("diff without -fail-missing exit = %d, want 0\n%s%s", code, stdout.String(), stderr.String())
 	}
 }
 

@@ -6,6 +6,12 @@
 //
 //	iogateway -listen :9007 -http :9008
 //
+// For long-lived deployments, -retention-window N bounds each app's
+// retained history to the last N virtual seconds of activity (older
+// regions are compacted into an exact running max plus a coarsened tail
+// of -retention-tail points), so per-app memory is bounded instead of
+// growing for the life of the run.
+//
 // Traced applications point tmio.DialSink at the -listen address;
 // schedulers and dashboards query the -http address:
 //
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"iobehind"
+	"iobehind/internal/des"
 	"iobehind/internal/gateway"
 	"iobehind/internal/tmio"
 )
@@ -44,6 +51,10 @@ func main() {
 	listen := flag.String("listen", ":9007", "TCP address for TMIO stream ingest")
 	httpAddr := flag.String("http", ":9008", "HTTP address for queries and metrics")
 	queue := flag.Int("queue", 1024, "per-connection record queue depth")
+	retention := flag.Float64("retention-window", 0,
+		"per-app history bound in virtual seconds: regions older than this behind an app's activity frontier are compacted into a fixed summary (0 = retain everything)")
+	retentionTail := flag.Int("retention-tail", 64,
+		"coarsened summary points kept per compacted sweep")
 	smoke := flag.Bool("smoke", false, "run a self-contained end-to-end check and exit")
 	flag.Parse()
 
@@ -58,8 +69,10 @@ func main() {
 
 	logger := log.New(os.Stderr, "iogateway: ", log.LstdFlags)
 	srv := gateway.New(gateway.Config{
-		QueueDepth: *queue,
-		Logf:       logger.Printf,
+		QueueDepth:      *queue,
+		RetentionWindow: des.DurationOf(*retention),
+		RetentionTail:   *retentionTail,
+		Logf:            logger.Printf,
 	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

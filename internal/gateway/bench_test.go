@@ -4,7 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -92,4 +95,78 @@ func BenchmarkIngest(b *testing.B) {
 	}
 	b.Run("json", run(jsonPayload.Bytes(), false))
 	b.Run("binary", run(framePayload, true))
+}
+
+// preloadApp feeds n phased records for one app straight into the
+// registry, bypassing the wire so benchmarks measure aggregation and
+// query cost only.
+func preloadApp(s *Server, id string, n int) {
+	for j := 0; j < n; j++ {
+		s.reg.ingest(tmio.StreamRecord{
+			V: tmio.StreamVersion, App: id, Rank: j % 8, Phase: j / 8,
+			TsSec: float64(j) * 0.05, TeSec: float64(j)*0.05 + 0.04, B: 1e8,
+		}, "conn-bench")
+	}
+}
+
+// BenchmarkMetricsScrape measures one /metrics exposition. The per-app
+// gauges read the incremental sweep's maintained max, so the cost must
+// be flat in how many phases each app has ever streamed — the
+// phases=1000 and phases=50000 sub-benchmarks pin that in the
+// bench-check gate (the old path re-sorted every phase per scrape).
+func BenchmarkMetricsScrape(b *testing.B) {
+	for _, phases := range []int{1000, 50000} {
+		b.Run(fmt.Sprintf("phases=%d", phases), func(b *testing.B) {
+			s := New(Config{})
+			for a := 0; a < 8; a++ {
+				preloadApp(s, fmt.Sprintf("app-%d", a), phases)
+			}
+			h := s.Handler()
+			req := httptest.NewRequest("GET", "/metrics", nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := &discardResponse{}
+				h.ServeHTTP(rec, req)
+			}
+		})
+	}
+}
+
+// discardResponse is a ResponseWriter that counts and drops the body, so
+// the scrape benchmark measures formatting, not recorder buffering.
+type discardResponse struct {
+	n int
+}
+
+func (d *discardResponse) Header() http.Header        { return http.Header{} }
+func (d *discardResponse) WriteHeader(statusCode int) {}
+func (d *discardResponse) Write(p []byte) (int, error) {
+	d.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkOnlineQueryUnderIngest interleaves the two sides the lock
+// split decouples: each op ingests a batch of records and then answers
+// an AppInfo query (the scheduler-poll shape). Deterministic and
+// single-threaded so the bench-check threshold tracks the code path, not
+// scheduler noise; the true concurrency contract is exercised under
+// -race by TestConcurrentScrapeDuringIngest.
+func BenchmarkOnlineQueryUnderIngest(b *testing.B) {
+	s := New(Config{})
+	preloadApp(s, "mixed", 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 8; k++ {
+			j := 1000 + i*8 + k
+			s.reg.ingest(tmio.StreamRecord{
+				V: tmio.StreamVersion, App: "mixed", Rank: j % 8, Phase: j / 8,
+				TsSec: float64(j) * 0.05, TeSec: float64(j)*0.05 + 0.04, B: 1e8,
+			}, "conn-bench")
+		}
+		if _, ok := s.AppInfo("mixed"); !ok {
+			b.Fatal("app vanished")
+		}
+	}
 }

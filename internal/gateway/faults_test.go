@@ -13,30 +13,32 @@ import (
 	"iobehind/internal/tmio"
 )
 
-func TestMergeSpans(t *testing.T) {
+// TestFaultCoverIncremental pins the semantics the old per-query
+// mergeSpans provided, now maintained incrementally at ingest via
+// metrics.InsertInterval: overlapping spans merge, touching spans merge
+// into one, and the cover stays sorted regardless of arrival order.
+func TestFaultCoverIncremental(t *testing.T) {
 	sec := func(s float64) des.Time { return des.Time(s * float64(des.Second)) }
-	in := []metrics.Interval{
+	var cover []metrics.Interval
+	for _, iv := range []metrics.Interval{
 		{Start: sec(5), End: sec(6)},
 		{Start: 0, End: sec(1)},
-		{Start: sec(0.5), End: sec(2)}, // overlaps the first
+		{Start: sec(0.5), End: sec(2)}, // overlaps the second
 		{Start: sec(2), End: sec(3)},   // touches: still one span
+	} {
+		cover = metrics.InsertInterval(cover, iv)
 	}
-	got := mergeSpans(in)
 	want := []metrics.Interval{{Start: 0, End: sec(3)}, {Start: sec(5), End: sec(6)}}
-	if len(got) != len(want) {
-		t.Fatalf("merged %d spans, want %d: %+v", len(got), len(want), got)
+	if len(cover) != len(want) {
+		t.Fatalf("merged %d spans, want %d: %+v", len(cover), len(want), cover)
 	}
 	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("span %d = %+v, want %+v", i, got[i], want[i])
+		if cover[i] != want[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, cover[i], want[i])
 		}
 	}
-	// The input slice is left untouched.
-	if in[0] != (metrics.Interval{Start: sec(5), End: sec(6)}) {
-		t.Fatal("mergeSpans mutated its input")
-	}
-	if mergeSpans(nil) != nil {
-		t.Fatal("mergeSpans(nil) != nil")
+	if metrics.InsertInterval(nil, metrics.Interval{}) != nil {
+		t.Fatal("inserting an empty interval into nil must stay nil")
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iobehind/internal/des"
 	"iobehind/internal/tmio"
 )
 
@@ -51,6 +52,19 @@ type Config struct {
 	// MinConfidence is the spectral-confidence floor below which Predict
 	// reports "no forecast". Defaults to 0.1.
 	MinConfidence float64
+	// RetentionWindow, when > 0, bounds each application's retained
+	// history in *virtual* time: once an app's activity frontier moves
+	// past the window, closed regions older than (frontier − window) are
+	// compacted into a fixed summary (exact running max plus a coarsened
+	// tail of at most RetentionTail points) and the FTIO signal slices
+	// are pruned to the same horizon, so per-app memory is bounded by
+	// the window's occupancy instead of growing for the life of the run.
+	// Records arriving behind an app's horizon are rejected and counted
+	// in Stats.Late. 0 (the default) retains everything.
+	RetentionWindow des.Duration
+	// RetentionTail bounds the coarsened summary kept per compacted
+	// sweep. Defaults to 64 when retention is active.
+	RetentionTail int
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -83,6 +97,7 @@ type Stats struct {
 	Dropped      int64 // records discarded by queue backpressure
 	DecodeErrors int64 // lines that failed to parse
 	Faulty       int64 // records marked as measured inside a fault window
+	Late         int64 // records rejected as older than the retention horizon
 	Apps         int   // distinct applications seen
 }
 
@@ -113,7 +128,7 @@ type Server struct {
 // New creates a gateway server.
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
-	s.reg.init()
+	s.reg.init(s.cfg.RetentionWindow, s.cfg.RetentionTail)
 	return s
 }
 
@@ -212,6 +227,7 @@ func (s *Server) Stats() Stats {
 		Dropped:      s.dropped.Load(),
 		DecodeErrors: s.decodeErrors.Load(),
 		Faulty:       s.faulty.Load(),
+		Late:         s.reg.late.Load(),
 		Apps:         s.reg.len(),
 	}
 }

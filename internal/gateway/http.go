@@ -3,9 +3,9 @@ package gateway
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
-	"strings"
 
 	"iobehind/internal/des"
 	"iobehind/internal/metrics"
@@ -104,7 +104,7 @@ func (s *Server) serveApps(w http.ResponseWriter, r *http.Request) {
 	for _, info := range infos {
 		out = append(out, appToJSON(info))
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 func (s *Server) serveSeries(w http.ResponseWriter, r *http.Request) {
@@ -127,7 +127,7 @@ func (s *Server) serveSeries(w http.ResponseWriter, r *http.Request) {
 			Ts: iv.Start.Seconds(), Te: iv.End.Seconds(),
 		})
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) {
@@ -148,10 +148,10 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) {
 	p, ok := s.Predict(id, now)
 	if !ok {
 		// Known app, no confident forecast yet: a valid, useful answer.
-		writeJSON(w, PredictJSON{ID: id, OK: false})
+		s.writeJSON(w, PredictJSON{ID: id, OK: false})
 		return
 	}
-	writeJSON(w, PredictJSON{
+	s.writeJSON(w, PredictJSON{
 		ID:           p.App,
 		OK:           true,
 		PeriodSec:    p.Period.Seconds(),
@@ -163,17 +163,35 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// errWriter wraps the response writer, latches the first write error,
+// and turns later writes into no-ops: once the scraper hangs up there is
+// no point formatting the rest of the exposition.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}
+
 // serveMetrics writes the Prometheus text exposition format (0.0.4) with
-// gateway-level counters and per-app gauges.
+// gateway-level counters and per-app gauges, streaming straight to the
+// response (the old strings.Builder staging double-copied every scrape).
 func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	st := s.Stats()
-	var b strings.Builder
+	ew := &errWriter{w: w}
 	counter := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 	counter("iogateway_connections_total", "Ingest connections ever accepted.", st.ConnsTotal)
 	gauge("iogateway_connections_active", "Ingest connections currently open.", st.ConnsActive)
@@ -181,36 +199,45 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("iogateway_records_dropped_total", "Stream records discarded by queue backpressure.", st.Dropped)
 	counter("iogateway_decode_errors_total", "Stream lines that failed to parse.", st.DecodeErrors)
 	counter("iogateway_records_faulty_total", "Stream records marked as measured inside an injected fault window.", st.Faulty)
+	counter("iogateway_records_late_total", "Stream records rejected as older than the retention horizon.", st.Late)
 	gauge("iogateway_apps", "Distinct applications seen.", int64(st.Apps))
 
 	infos := s.Apps()
 	if len(infos) > 0 {
-		fmt.Fprintf(&b, "# HELP iogateway_app_records_total Records ingested per application.\n# TYPE iogateway_app_records_total counter\n")
+		fmt.Fprintf(ew, "# HELP iogateway_app_records_total Records ingested per application.\n# TYPE iogateway_app_records_total counter\n")
 		for _, info := range infos {
-			fmt.Fprintf(&b, "iogateway_app_records_total{app=%q} %d\n", info.ID, info.Records)
+			fmt.Fprintf(ew, "iogateway_app_records_total{app=%q} %d\n", info.ID, info.Records)
 		}
-		fmt.Fprintf(&b, "# HELP iogateway_app_required_bandwidth_bytes_per_second Current application-level required bandwidth (max of the online Eq. 3 sweep).\n# TYPE iogateway_app_required_bandwidth_bytes_per_second gauge\n")
+		fmt.Fprintf(ew, "# HELP iogateway_app_required_bandwidth_bytes_per_second Current application-level required bandwidth (max of the online Eq. 3 sweep).\n# TYPE iogateway_app_required_bandwidth_bytes_per_second gauge\n")
 		for _, info := range infos {
-			fmt.Fprintf(&b, "iogateway_app_required_bandwidth_bytes_per_second{app=%q} %g\n", info.ID, info.RequiredBandwidth)
+			fmt.Fprintf(ew, "iogateway_app_required_bandwidth_bytes_per_second{app=%q} %g\n", info.ID, info.RequiredBandwidth)
 		}
-		fmt.Fprintf(&b, "# HELP iogateway_app_last_activity_seconds End of the latest phase window seen, in virtual seconds.\n# TYPE iogateway_app_last_activity_seconds gauge\n")
+		fmt.Fprintf(ew, "# HELP iogateway_app_last_activity_seconds End of the latest phase window seen, in virtual seconds.\n# TYPE iogateway_app_last_activity_seconds gauge\n")
 		for _, info := range infos {
-			fmt.Fprintf(&b, "iogateway_app_last_activity_seconds{app=%q} %g\n", info.ID, info.LastActivity.Seconds())
+			fmt.Fprintf(ew, "iogateway_app_last_activity_seconds{app=%q} %g\n", info.ID, info.LastActivity.Seconds())
 		}
-		fmt.Fprintf(&b, "# HELP iogateway_app_fault_phases_total Phases per application measured inside an injected fault window.\n# TYPE iogateway_app_fault_phases_total counter\n")
+		fmt.Fprintf(ew, "# HELP iogateway_app_fault_phases_total Phases per application measured inside an injected fault window.\n# TYPE iogateway_app_fault_phases_total counter\n")
 		for _, info := range infos {
-			fmt.Fprintf(&b, "iogateway_app_fault_phases_total{app=%q} %d\n", info.ID, info.FaultPhases)
+			fmt.Fprintf(ew, "iogateway_app_fault_phases_total{app=%q} %d\n", info.ID, info.FaultPhases)
 		}
-		fmt.Fprintf(&b, "# HELP iogateway_app_retries_total Transient-error retries per application.\n# TYPE iogateway_app_retries_total counter\n")
+		fmt.Fprintf(ew, "# HELP iogateway_app_retries_total Transient-error retries per application.\n# TYPE iogateway_app_retries_total counter\n")
 		for _, info := range infos {
-			fmt.Fprintf(&b, "iogateway_app_retries_total{app=%q} %d\n", info.ID, info.Retries)
+			fmt.Fprintf(ew, "iogateway_app_retries_total{app=%q} %d\n", info.ID, info.Retries)
 		}
 	}
-	w.Write([]byte(b.String()))
+	if ew.err != nil {
+		s.logf("gateway: /metrics write: %v", ew.err)
+	}
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes v to the response, reporting (rather than silently
+// swallowing) an encode or write failure. A failure here is almost
+// always the client hanging up mid-body; the status line is already
+// gone, so logging is all that remains.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.logf("gateway: response encode: %v", err)
+	}
 }

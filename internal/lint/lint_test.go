@@ -47,6 +47,12 @@ func TestAnalyzers(t *testing.T) {
 		{name: "maporder-exempt", dir: "maporder", path: "iobehind/internal/runner", ignoreWants: true},
 		{name: "goroutine", dir: "goroutine", path: "iobehind/internal/des"},
 		{name: "goroutine-exempt", dir: "goroutine", path: "iobehind/internal/fabric", ignoreWants: true},
+		// The incremental sweep's chunked-structure shape: map-ordered
+		// refolds and goroutine-based compaction are exactly the bugs
+		// that would break the online/offline bit-exactness contract, so
+		// both taint rules must cover internal/region's new code.
+		{name: "incsweep-region", dir: "incsweep", path: "iobehind/internal/region"},
+		{name: "incsweep-exempt", dir: "incsweep", path: "iobehind/internal/runner", ignoreWants: true},
 		{name: "errdrop", dir: "errdrop", path: "iobehind/internal/fabric"},
 		{name: "errdrop-outside", dir: "errdrop", path: "iobehind/internal/gateway", ignoreWants: true},
 		{name: "errdropframe", dir: "errdropframe", path: "iobehind/internal/tmio"},

@@ -1,0 +1,80 @@
+// Fixture modeling the incremental sweep engine's shape: a chunked
+// aggregation structure whose maintenance code must stay deterministic
+// and synchronous. Loaded under the claimed import path
+// iobehind/internal/region (a simulation package, so every declared
+// function is a reachability entry point and the maporder and goroutine
+// taint rules both apply) and again under the exempt
+// iobehind/internal/runner path, where nothing may be reported.
+package fixture
+
+type chunk struct {
+	times  []int64
+	deltas []float64
+}
+
+type incSweep struct {
+	chunks []*chunk
+	// byTime is the tempting-but-wrong index: ranging it would make the
+	// refold order depend on map iteration.
+	byTime map[int64]*chunk
+}
+
+// refoldFromIndex is the bug shape the rules exist to catch: rebuilding
+// the chunk list by ranging a map appends boundaries in
+// nondeterministic order, breaking the bit-exactness contract with the
+// offline sweep.
+func (s *incSweep) refoldFromIndex() []*chunk {
+	var ordered []*chunk
+	for _, ch := range s.byTime { // want "appends to a slice"
+		ordered = append(ordered, ch)
+	}
+	return ordered
+}
+
+// foldFromIndex is the float flavor: a prefix sum accumulated in map
+// order differs between runs in its low bits.
+func (s *incSweep) foldFromIndex() float64 {
+	sum := 0.0
+	for _, ch := range s.byTime { // want "accumulates floats"
+		for _, d := range ch.deltas {
+			sum += d
+		}
+	}
+	return sum
+}
+
+// compactAsync is the other forbidden shape: compaction racing the fold
+// on a goroutine instead of running synchronously under the caller's
+// lock.
+func (s *incSweep) compactAsync(cutoff int64) {
+	done := make(chan struct{})
+	go func() { // want "go statement starts a goroutine"
+		for len(s.chunks) > 0 && s.chunks[0].times[0] < cutoff {
+			s.chunks = s.chunks[1:]
+		}
+		close(done) // want "close of a channel"
+	}()
+	<-done // want "channel receive"
+}
+
+// refold is the correct shape: a deterministic slice walk with a single
+// sequential float fold. Nothing may be reported here.
+func (s *incSweep) refold() float64 {
+	sum := 0.0
+	for _, ch := range s.chunks {
+		for _, d := range ch.deltas {
+			sum += d
+		}
+	}
+	return sum
+}
+
+// sizeByChunk ranges a map in an order-independent way (per-key writes
+// into another map): allowed.
+func (s *incSweep) sizeByChunk() map[int64]int {
+	out := make(map[int64]int, len(s.byTime))
+	for t, ch := range s.byTime {
+		out[t] = len(ch.deltas)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package metrics
+
+// InsertInterval folds one interval into a sorted, disjoint cover,
+// merging overlapping or touching neighbours — the incremental form of
+// collecting every span and sort-merging the whole set per query.
+// It returns the updated slice (append semantics: callers must keep the
+// result). Empty and inverted intervals are dropped. Unlike
+// Intervals.Add, arrival order is arbitrary: spans from different ranks
+// interleave on the wire.
+func InsertInterval(cover []Interval, iv Interval) []Interval {
+	if iv.End <= iv.Start {
+		return cover
+	}
+	// First existing interval that can merge with iv: End >= iv.Start
+	// (touching counts, matching the offline sort-merge rule).
+	lo, hi := 0, len(cover)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cover[mid].End < iv.Start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
+	// One past the last interval that can merge: Start <= iv.End. The
+	// merge run is usually tiny (0 or 1), so a linear scan suffices.
+	j := i
+	for j < len(cover) && cover[j].Start <= iv.End {
+		j++
+	}
+	if i == j {
+		// No neighbour merges: splice iv in at i.
+		cover = append(cover, Interval{})
+		copy(cover[i+1:], cover[i:])
+		cover[i] = iv
+		return cover
+	}
+	if cover[i].Start < iv.Start {
+		iv.Start = cover[i].Start
+	}
+	if cover[j-1].End > iv.End {
+		iv.End = cover[j-1].End
+	}
+	cover[i] = iv
+	return append(cover[:i+1], cover[j:]...)
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"iobehind/internal/des"
+)
+
+func iv(a, b int) Interval { return Interval{Start: des.Time(a), End: des.Time(b)} }
+
+// coverOracle is the offline form: sort every span, merge overlapping or
+// touching neighbours — the behaviour the gateway used to pay for on
+// every query via mergeSpans.
+func coverOracle(spans []Interval) []Interval {
+	if len(spans) == 0 {
+		return nil
+	}
+	sorted := append([]Interval(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	var out []Interval
+	for _, s := range sorted {
+		if s.End <= s.Start {
+			continue
+		}
+		if n := len(out); n > 0 && s.Start <= out[n-1].End {
+			if s.End > out[n-1].End {
+				out[n-1].End = s.End
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestInsertIntervalCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Interval
+		want []Interval
+	}{
+		{"empty input", nil, nil},
+		{"single", []Interval{iv(1, 3)}, []Interval{iv(1, 3)}},
+		{"degenerate dropped", []Interval{iv(5, 5), iv(7, 2)}, nil},
+		{"disjoint out of order", []Interval{iv(10, 12), iv(0, 2), iv(5, 6)},
+			[]Interval{iv(0, 2), iv(5, 6), iv(10, 12)}},
+		{"touching merge", []Interval{iv(0, 5), iv(5, 9)}, []Interval{iv(0, 9)}},
+		{"overlap merge", []Interval{iv(0, 5), iv(3, 9)}, []Interval{iv(0, 9)}},
+		{"contained", []Interval{iv(0, 10), iv(3, 4)}, []Interval{iv(0, 10)}},
+		{"bridge many", []Interval{iv(0, 2), iv(4, 6), iv(8, 10), iv(1, 9)},
+			[]Interval{iv(0, 10)}},
+		{"extend left", []Interval{iv(4, 8), iv(1, 5)}, []Interval{iv(1, 8)}},
+		{"insert between", []Interval{iv(0, 2), iv(10, 12), iv(5, 6)},
+			[]Interval{iv(0, 2), iv(5, 6), iv(10, 12)}},
+	}
+	for _, tc := range cases {
+		var cover []Interval
+		for _, s := range tc.in {
+			cover = InsertInterval(cover, s)
+		}
+		if !reflect.DeepEqual(cover, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, cover, tc.want)
+		}
+	}
+}
+
+// TestInsertIntervalMatchesOracle drives random span streams through the
+// incremental insert and requires the running cover to equal the offline
+// sort-merge of everything seen so far, at every step.
+func TestInsertIntervalMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var cover []Interval
+		var seen []Interval
+		for i := 0; i < 40; i++ {
+			a := rng.Intn(100)
+			s := iv(a, a+rng.Intn(12)) // sometimes empty
+			seen = append(seen, s)
+			cover = InsertInterval(cover, s)
+			if want := coverOracle(seen); !reflect.DeepEqual(cover, want) {
+				t.Fatalf("trial %d step %d: after %v\n got %v\nwant %v", trial, i, s, cover, want)
+			}
+		}
+		// Disjointness and order, belt and braces.
+		for i := 1; i < len(cover); i++ {
+			if cover[i].Start <= cover[i-1].End {
+				t.Fatalf("cover not disjoint/sorted: %v", cover)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package region
+
+import (
+	"fmt"
+	"testing"
+
+	"iobehind/internal/des"
+)
+
+var benchSinkF float64
+
+// BenchmarkIncrementalAdd measures the streaming insert path for
+// in-order arrival — the realistic shape, since each rank emits its
+// phases in time order. The bench-check gate pins 0 allocs/op: the only
+// allocations are chunk splits, amortized away by the preallocated
+// chunk capacity.
+func BenchmarkIncrementalAdd(b *testing.B) {
+	b.ReportAllocs()
+	s := NewIncrementalSweep("B")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := des.Time(i) * des.Time(des.Millisecond)
+		s.Add(Phase{Rank: i % 64, Start: t, End: t + des.Time(des.Millisecond), Value: 1.7e6})
+	}
+}
+
+// BenchmarkIncrementalMax pins the O(1) query: cost must be flat in the
+// number of phases ever folded in (it was a full O(n log n) re-sort).
+func BenchmarkIncrementalMax(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("phases=%d", n), func(b *testing.B) {
+			s := NewIncrementalSweep("B")
+			for i := 0; i < n; i++ {
+				t := des.Time(i) * des.Time(des.Millisecond)
+				s.Add(Phase{Start: t, End: t + 2*des.Time(des.Millisecond), Value: 3.1e6})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSinkF = s.Max()
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package region
+
+import (
+	"testing"
+
+	"iobehind/internal/des"
+)
+
+// FuzzIncrementalSweep drives a random interleave of Add/Max/Series
+// operations, decoded from the fuzz input four bytes at a time, against
+// the offline Sweep oracle over the accepted phases. Every comparison is
+// exact — the equality invariant is bit-for-bit, not within a tolerance.
+// An input with no (or only degenerate) phases exercises the zero-record
+// case: empty series, zero Max.
+func FuzzIncrementalSweep(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})                                    // degenerate: zero width
+	f.Add([]byte{0, 10, 5, 2, 3, 200, 3, 1, 1, 10, 5, 2})        // dup phase + query
+	f.Add([]byte{0, 1, 60, 9, 0, 1, 60, 9, 3, 0, 0, 0, 2, 5, 5}) // coincident ties
+	f.Add([]byte{2, 250, 250, 255, 0, 0, 1, 1, 3, 9, 9, 9, 0, 0, 200, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inc := NewIncrementalSweep("B")
+		var oracle []Phase
+		check := func() {
+			t.Helper()
+			off := Sweep("B", oracle)
+			got := inc.Series()
+			if len(got.Points) != len(off.Points) {
+				t.Fatalf("series length %d != offline %d (%d phases)", len(got.Points), len(off.Points), len(oracle))
+			}
+			for i := range got.Points {
+				if got.Points[i] != off.Points[i] {
+					t.Fatalf("point %d: %+v != offline %+v", i, got.Points[i], off.Points[i])
+				}
+			}
+			if inc.Max() != off.Max() {
+				t.Fatalf("Max %v != offline %v", inc.Max(), off.Max())
+			}
+		}
+		for i := 0; i+3 < len(data); i += 4 {
+			op, b1, b2, b3 := data[i], data[i+1], data[i+2], data[i+3]
+			if op%5 == 3 {
+				check() // interleaved query: Series+Max mid-stream
+				continue
+			}
+			if op%5 == 4 {
+				_ = inc.Max() // Max alone must not disturb state
+				continue
+			}
+			start := des.Time(b1) * des.Time(des.Millisecond)
+			ph := Phase{
+				Rank:  int(op),
+				Start: start,
+				End:   start + des.Time(b2)*des.Time(des.Millisecond),
+				Value: float64(b3) * 1.31e5, // non-representable step
+			}
+			accepted := inc.Add(ph)
+			if valid := ph.End > ph.Start; accepted != valid {
+				t.Fatalf("Add(%+v) = %v, want %v", ph, accepted, valid)
+			}
+			if accepted {
+				oracle = append(oracle, ph)
+			}
+		}
+		check()
+	})
+}

@@ -10,55 +10,33 @@ import (
 // produce application-level metrics online or offline through flags").
 // External consumers such as I/O schedulers can poll Max for the current
 // application-level required bandwidth while the application still runs.
+//
+// It is a thin wrapper over IncrementalSweep: Add folds the phase into
+// the sorted boundary structure immediately (O(log n) plus a bounded
+// refold for in-order arrival), so Max is O(1) and Series a straight
+// walk — the old recompute-on-read full re-sort per query is gone.
 type OnlineSweep struct {
-	name   string
-	phases []Phase
-	dirty  bool
-	maxVal float64
-	series *metrics.Series
+	inc *IncrementalSweep
 }
 
 // NewOnlineSweep creates an empty aggregator producing a series with the
 // given name.
 func NewOnlineSweep(name string) *OnlineSweep {
-	return &OnlineSweep{name: name, series: &metrics.Series{Name: name}}
+	return &OnlineSweep{inc: NewIncrementalSweep(name)}
 }
 
 // Add records a closed phase. Phases may arrive in any order across ranks.
 func (o *OnlineSweep) Add(ph Phase) {
-	if ph.End <= ph.Start {
-		return
-	}
-	o.phases = append(o.phases, ph)
-	o.dirty = true
+	o.inc.Add(ph)
 }
 
 // Len returns the number of recorded phases.
-func (o *OnlineSweep) Len() int { return len(o.phases) }
-
-// refresh recomputes the sweep if new phases arrived since the last query.
-// Queries are far rarer than insertions (a scheduler polling every few
-// seconds versus thousands of phase closes), so recompute-on-read keeps
-// insertion O(1).
-func (o *OnlineSweep) refresh() {
-	if !o.dirty {
-		return
-	}
-	o.series = Sweep(o.name, o.phases)
-	o.maxVal = o.series.Max()
-	o.dirty = false
-}
+func (o *OnlineSweep) Len() int { return o.inc.Len() }
 
 // Max returns the current application-level required bandwidth: the
 // maximum of the Eq. 3 sweep over everything observed so far.
-func (o *OnlineSweep) Max() float64 {
-	o.refresh()
-	return o.maxVal
-}
+func (o *OnlineSweep) Max() float64 { return o.inc.Max() }
 
 // Series returns the current application-level step series. The returned
 // series is a snapshot; later Adds do not mutate it.
-func (o *OnlineSweep) Series() *metrics.Series {
-	o.refresh()
-	return o.series
-}
+func (o *OnlineSweep) Series() *metrics.Series { return o.inc.Series() }

@@ -44,7 +44,18 @@ func Sweep(name string, phases []Phase) *metrics.Series {
 		events = append(events, boundary{t: ph.Start, delta: ph.Value})
 		events = append(events, boundary{t: ph.End, delta: -ph.Value})
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+	// Canonical (time, delta) order: breaking time ties by delta makes
+	// runs of equal keys consist of identical values, so the fold below
+	// accumulates the same floats in the same order no matter how the
+	// input phases were permuted. That determinism is what lets the
+	// incremental engine promise bit-identical results to this function
+	// under arbitrary arrival order (see incremental.go).
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta
+	})
 
 	s := &metrics.Series{Name: name}
 	sum := 0.0
@@ -54,13 +65,20 @@ func Sweep(name string, phases []Phase) *metrics.Series {
 			sum += events[i].delta
 			i++
 		}
-		v := sum
-		if v < 0 && v > -1e-9 {
-			v = 0 // absorb float cancellation noise
-		}
-		s.Append(t, v)
+		s.Append(t, clampNoise(sum))
 	}
 	return s
+}
+
+// clampNoise absorbs float cancellation noise: a running sum that should
+// have returned to zero after matched +v/-v boundaries can land a few
+// ulps below it. Shared by the offline fold above and the incremental
+// engine so both clamp identically — part of the bit-exactness contract.
+func clampNoise(v float64) float64 {
+	if v < 0 && v > -1e-9 {
+		return 0
+	}
+	return v
 }
 
 // MaxRequired returns the maximum of the swept series — the paper's

@@ -22,7 +22,11 @@ import (
 // v3: metrics.Histogram switched to a deterministic (sorted-bucket) wire
 // encoding so entry bytes are content-addressable; old entries encode
 // the same values differently and must never be compared byte-wise.
-const cacheVersion = "iobehind-runner-v3"
+// v4: region.Sweep's boundary sort gained a canonical (time, delta)
+// tie-break so the fold is permutation-independent; coincident-boundary
+// accumulation order — and thus the low bits of swept series — can
+// differ from v3 entries.
+const cacheVersion = "iobehind-runner-v4"
 
 // PointCache is the memoization surface a Runner probes before running a
 // point and fills after. *Cache is the local-disk implementation; the
